@@ -1,0 +1,85 @@
+//! Benches the online clock pipeline itself: per-packet processing cost,
+//! clock reads, and the component estimators — the numbers that matter for
+//! a production daemon (one packet per 16–1024 s leaves enormous headroom,
+//! but the library should still be cheap enough for dense offline replay of
+//! months of traces).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use tsc_netsim::Scenario;
+use tscclock::{ClockConfig, RawExchange, TscNtpClock};
+
+/// Pre-generates a day of exchanges (the simulator is not measured).
+fn day_of_exchanges(seed: u64, poll: f64) -> Vec<RawExchange> {
+    Scenario::baseline(seed)
+        .with_poll_period(poll)
+        .with_duration(86_400.0)
+        .run()
+        .into_iter()
+        .filter(|e| !e.lost)
+        .map(|e| RawExchange {
+            ta_tsc: e.ta_tsc,
+            tb: e.tb,
+            te: e.te,
+            tf_tsc: e.tf_tsc,
+        })
+        .collect()
+}
+
+fn bench_process(c: &mut Criterion) {
+    let exchanges = day_of_exchanges(1, 16.0);
+    let mut g = c.benchmark_group("clock_pipeline");
+    g.throughput(Throughput::Elements(exchanges.len() as u64));
+    g.bench_function("process_one_day_of_packets", |b| {
+        b.iter_batched(
+            || TscNtpClock::new(ClockConfig::paper_defaults(16.0)),
+            |mut clock| {
+                for e in &exchanges {
+                    std::hint::black_box(clock.process(*e));
+                }
+                clock.status().packets
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_reads(c: &mut Criterion) {
+    let exchanges = day_of_exchanges(2, 16.0);
+    let mut clock = TscNtpClock::new(ClockConfig::paper_defaults(16.0));
+    for e in &exchanges {
+        clock.process(*e);
+    }
+    let tsc = exchanges.last().unwrap().tf_tsc;
+    let mut g = c.benchmark_group("clock_reads");
+    g.bench_function("absolute_time", |b| {
+        b.iter(|| std::hint::black_box(clock.absolute_time(std::hint::black_box(tsc))))
+    });
+    g.bench_function("difference_seconds", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                clock.difference_seconds(std::hint::black_box(tsc - 1_000_000), tsc),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(20);
+    g.bench_function("one_simulated_day_poll16", |b| {
+        b.iter(|| {
+            let n = Scenario::baseline(3)
+                .with_poll_period(16.0)
+                .with_duration(86_400.0)
+                .run()
+                .len();
+            std::hint::black_box(n)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_process, bench_reads, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Bench: regenerates Figure 7 end-to-end (reduced scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tsc_experiments::{run_by_id, ExpOptions};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    for id in ["fig7"] {
+        g.bench_function(id, |b| {
+            b.iter(|| {
+                let r = run_by_id(id, ExpOptions { seed: 42, full: false })
+                    .expect("known id");
+                std::hint::black_box(r.metrics.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,658 @@
+//! The composed TSC-NTP clock: difference and absolute clocks plus the
+//! full online synchronization pipeline.
+//!
+//! §2.2 defines *two* clocks from the same counter, and insists on the
+//! distinction:
+//!
+//! * the **difference clock** `Cd(t) = TSC(t)·p̂(t)` — for time differences
+//!   up to the SKM scale, never disturbed by offset corrections;
+//! * the **absolute clock** `Ca(t) = TSC(t)·p̂(t) + C̄ − θ̂(t)` — for
+//!   absolute timestamps, paying for offset correction with a less smooth
+//!   rate.
+//!
+//! [`TscNtpClock::process`] runs one packet through the whole §5–§6
+//! pipeline: history admission and `r̂` maintenance, global rate, local
+//! rate, naive offset, weighted offset with sanity checks, upward-shift
+//! detection, top-window sliding with pair replacement, and the §6.1
+//! clock-offset consistency rule that keeps `C(t)` continuous across `p̂`
+//! updates.
+
+use crate::config::ClockConfig;
+use crate::exchange::RawExchange;
+use crate::history::History;
+use crate::local_rate::{LocalRate, LocalRateEvent};
+use crate::naive::naive_offset;
+use crate::offset::{OffsetEstimator, OffsetEvent};
+use crate::rate::{GlobalRate, RateEvent};
+use crate::shift::ShiftDetector;
+use serde::{Deserialize, Serialize};
+
+/// Everything notable that happened while processing one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockEvent {
+    /// Packet discarded before processing (failed causality checks).
+    DiscardedMalformed,
+    /// The global rate estimate changed.
+    RateUpdated,
+    /// The global-rate consistency guard rejected an update.
+    RateSanity,
+    /// The local rate estimate changed.
+    LocalRateUpdated,
+    /// The local-rate sanity rule duplicated the previous value.
+    LocalRateSanity,
+    /// The offset sanity check duplicated the previous value.
+    OffsetSanity,
+    /// The offset estimator fell back to carrying its estimate forward.
+    OffsetFallback,
+    /// An upward level shift was confirmed and the history re-based.
+    UpwardShift,
+    /// A new RTT minimum was observed (includes downward level shifts).
+    NewRttMinimum,
+    /// The top-level window slid (oldest half of history discarded).
+    WindowSlid,
+}
+
+/// Per-packet output of [`TscNtpClock::process`].
+#[derive(Debug, Clone)]
+pub struct ProcessOutput {
+    /// Global index assigned to this packet.
+    pub idx: u64,
+    /// Round-trip time in seconds (via the current rate estimate).
+    pub rtt: f64,
+    /// Point error `Eᵢ` in seconds.
+    pub point_error: f64,
+    /// The naive per-packet offset `θ̂ᵢ` (equation (19)).
+    pub theta_naive: f64,
+    /// The filtered offset estimate `θ̂(t)` after this packet.
+    pub theta_hat: f64,
+    /// Current global rate estimate `p̂` (seconds per count).
+    pub p_hat: f64,
+    /// Current local rate estimate `p̂l`, when active.
+    pub p_local: Option<f64>,
+    /// Events raised by this packet.
+    pub events: Vec<ClockEvent>,
+}
+
+/// A serializable snapshot of the clock's estimates (enough to resume
+/// timestamping — though not filtering history — after a restart).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClockStatus {
+    /// Packets processed (accepted into history).
+    pub packets: u64,
+    /// `true` once the warm-up phase has completed.
+    pub warmed_up: bool,
+    /// Global rate estimate, seconds per count.
+    pub p_hat: Option<f64>,
+    /// Quality bound on `p̂`.
+    pub p_quality: f64,
+    /// Local rate estimate.
+    pub p_local: Option<f64>,
+    /// Current offset estimate.
+    pub theta_hat: Option<f64>,
+    /// Minimum RTT `r̂` in seconds.
+    pub rtt_min: Option<f64>,
+    /// The clock-alignment constant C̄.
+    pub c_bar: f64,
+}
+
+/// The TSC-NTP software clock.
+#[derive(Debug)]
+pub struct TscNtpClock {
+    cfg: ClockConfig,
+    history: History,
+    rate: GlobalRate,
+    local_rate: LocalRate,
+    offset: OffsetEstimator,
+    shift: ShiftDetector,
+    /// Clock alignment constant: `C(t) = TSC(t)·p̂ + C̄`.
+    c_bar: f64,
+    /// Set once C̄ has been initialised (needs the first rate estimate).
+    aligned: bool,
+    /// First exchange, held until `p̂₂,₁` exists.
+    pending_first: Option<RawExchange>,
+    /// `Tf` counts of the previous packet (for the §6.1 gap rule).
+    prev_tfc: f64,
+}
+
+impl TscNtpClock {
+    /// Creates a clock with the given configuration.
+    ///
+    /// # Panics
+    /// Panics when the configuration fails [`ClockConfig::validate`].
+    pub fn new(cfg: ClockConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid clock configuration: {e}");
+        }
+        let top = cfg.top_packets().max(8);
+        Self {
+            cfg,
+            history: History::new(top),
+            rate: GlobalRate::new(cfg.e_star, cfg.warmup_packets),
+            local_rate: LocalRate::new(
+                cfg.tau_bar_packets(),
+                cfg.w_split,
+                cfg.gamma_star,
+                cfg.rate_sanity,
+                (cfg.warmup_packets + cfg.tau_bar_packets()) as u64,
+                cfg.tau_bar / 2.0,
+            ),
+            offset: OffsetEstimator::new(),
+            shift: ShiftDetector::new(cfg.ts_packets(), cfg.shift_mult * cfg.quality_scale),
+            c_bar: 0.0,
+            aligned: false,
+            pending_first: None,
+            prev_tfc: f64::NAN,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ClockConfig {
+        &self.cfg
+    }
+
+    /// Feeds one completed exchange through the pipeline.
+    ///
+    /// Returns `None` for malformed packets and for the very first packet
+    /// (two packets are needed before any estimate exists; the first packet
+    /// is then processed retroactively).
+    pub fn process(&mut self, ex: RawExchange) -> Option<ProcessOutput> {
+        if !ex.is_causal() {
+            return None;
+        }
+        // Bootstrap: hold the first packet until p̂₂,₁ can be formed.
+        if self.rate.p_hat().is_none() && self.history.is_empty() {
+            if let Some(first) = self.pending_first.take() {
+                // Second packet: bootstrap the rate, align the clock, then
+                // run both packets through the pipeline.
+                let p0 = crate::naive::naive_rate(&first, &ex).filter(|p| *p > 0.0)?;
+                // Align C(t) to the server at the first packet's midpoint:
+                // "The first estimate is just the server timestamp Tb,1".
+                self.c_bar = first.server_midpoint() - first.host_midpoint_counts() * p0;
+                self.aligned = true;
+                self.rate.seed(p0);
+                self.process_admitted(first);
+                return Some(self.process_admitted(ex));
+            }
+            self.pending_first = Some(ex);
+            return None;
+        }
+        Some(self.process_admitted(ex))
+    }
+
+    /// The main pipeline for a packet once estimates can exist.
+    fn process_admitted(&mut self, ex: RawExchange) -> ProcessOutput {
+        let mut events = Vec::new();
+        let p_before = self.rate.p_hat().expect("rate bootstrapped");
+
+        // θ̂ᵢ with the *current* clock (p̂, C̄): equation (19).
+        let theta_naive = naive_offset(&ex, p_before, self.c_bar);
+
+        // 1. Admit to history; r̂ maintenance; top-window slide.
+        let (idx, outcome) = self.history.push(ex, theta_naive);
+        if outcome.new_minimum {
+            events.push(ClockEvent::NewRttMinimum);
+        }
+        if outcome.window_slid {
+            events.push(ClockEvent::WindowSlid);
+            // §6.1: replace the rate pair's j if it was discarded.
+            let oldest = self.history.first().map(|r| r.idx).unwrap_or(0);
+            let candidate = self.find_j_candidate(p_before);
+            self.rate.replace_j_if_dropped(oldest, candidate);
+        }
+        let record = *self.history.last().expect("just pushed");
+
+        // 2. Global rate.
+        match self.rate.process(&self.history, &record) {
+            RateEvent::Updated => {
+                let p_after = self.rate.p_hat().expect("updated");
+                if p_after != p_before {
+                    events.push(ClockEvent::RateUpdated);
+                    // §6.1 "Clock Offset Consistency": C̄ += TSC(t⁻)(p̂⁻ − p̂)
+                    // keeps C(t) continuous across the rate update.
+                    self.c_bar += record.tf_c * (p_before - p_after);
+                }
+            }
+            RateEvent::SanityRejected => events.push(ClockEvent::RateSanity),
+            RateEvent::RejectedQuality => {}
+        }
+        let p_hat = self.rate.p_hat().expect("rate exists");
+
+        // 3. Upward-shift detection (downward is automatic via r̂).
+        if let Some(shift) = self.shift.observe(
+            idx,
+            record.rtt_c,
+            self.history.rtt_min_c(),
+            p_hat,
+        ) {
+            self.history
+                .apply_upward_shift(shift.new_min_c, shift.start_idx);
+            self.shift.reset();
+            events.push(ClockEvent::UpwardShift);
+        }
+
+        // 4. Local rate (needs the re-based history).
+        let record = *self.history.last().expect("present");
+        match self.local_rate.process(&self.history, &record, p_hat) {
+            LocalRateEvent::Updated => events.push(ClockEvent::LocalRateUpdated),
+            LocalRateEvent::SanityDuplicated => events.push(ClockEvent::LocalRateSanity),
+            _ => {}
+        }
+
+        // 5. Weighted offset.
+        let gap_large = self.prev_tfc.is_finite()
+            && (record.tf_c - self.prev_tfc) * p_hat > self.cfg.tau_bar / 2.0;
+        let gamma_l = if self.cfg.use_local_rate && !gap_large {
+            self.local_rate.gamma_l(p_hat, record.tf_c)
+        } else {
+            None
+        };
+        let warmup = self.rate.in_warmup();
+        let (theta_hat, off_ev) = self.offset.process(
+            &self.cfg,
+            &self.history,
+            &record,
+            p_hat,
+            self.c_bar,
+            gamma_l,
+            warmup,
+            gap_large,
+        );
+        match off_ev {
+            OffsetEvent::SanityDuplicated => events.push(ClockEvent::OffsetSanity),
+            OffsetEvent::PoorQualityFallback | OffsetEvent::GapBlend => {
+                events.push(ClockEvent::OffsetFallback)
+            }
+            _ => {}
+        }
+
+        self.prev_tfc = record.tf_c;
+
+        ProcessOutput {
+            idx,
+            rtt: record.rtt_c * p_hat,
+            point_error: record.point_error(p_hat),
+            theta_naive,
+            theta_hat,
+            p_hat,
+            p_local: self.local_rate.p_local(),
+            events,
+        }
+    }
+
+    /// §6.1: after a slide, the j-replacement candidate is "the first packet
+    /// in the new window of similar or better point quality" — we take the
+    /// earliest retained packet whose point error is below E*.
+    fn find_j_candidate(&self, p_hat: f64) -> Option<crate::history::PacketRecord> {
+        self.history
+            .iter()
+            .find(|r| r.point_error(p_hat) < self.cfg.e_star)
+            .copied()
+    }
+
+    // ------------------------------------------------------------------
+    // Reading the clocks
+    // ------------------------------------------------------------------
+
+    /// The **difference clock** (equation (6)): converts an interval of raw
+    /// counter readings into seconds using the current `p̂`. `None` before
+    /// the clock is bootstrapped.
+    pub fn difference_seconds(&self, tsc_from: u64, tsc_to: u64) -> Option<f64> {
+        let p = self.rate.p_hat()?;
+        Some(tsc_to.wrapping_sub(tsc_from) as i64 as f64 * p)
+    }
+
+    /// The **absolute clock** (equation (7)): `Ca = TSC·p̂ + C̄ − θ̂(t)`,
+    /// with θ̂ linearly predicted via the local rate when enabled.
+    pub fn absolute_time(&self, tsc: u64) -> Option<f64> {
+        let p = self.rate.p_hat()?;
+        if !self.aligned {
+            return None;
+        }
+        let tf_c = tsc as f64;
+        let gamma_l = if self.cfg.use_local_rate {
+            self.local_rate.gamma_l(p, tf_c)
+        } else {
+            None
+        };
+        let theta = self.offset.predict(tf_c, p, gamma_l)?;
+        Some(tf_c * p + self.c_bar - theta)
+    }
+
+    /// The uncorrected clock `C(t) = TSC·p̂ + C̄` (the thing whose offset is
+    /// being estimated).
+    pub fn uncorrected_time(&self, tsc: u64) -> Option<f64> {
+        let p = self.rate.p_hat()?;
+        if !self.aligned {
+            return None;
+        }
+        Some(tsc as f64 * p + self.c_bar)
+    }
+
+    /// Current estimates snapshot.
+    pub fn status(&self) -> ClockStatus {
+        let p = self.rate.p_hat();
+        ClockStatus {
+            packets: self.history.total_admitted(),
+            warmed_up: !self.rate.in_warmup(),
+            p_hat: p,
+            p_quality: self.rate.quality(),
+            p_local: self.local_rate.p_local(),
+            theta_hat: self.offset.theta(),
+            rtt_min: p.map(|p| self.history.rtt_min_c() * p).filter(|r| r.is_finite()),
+            c_bar: self.c_bar,
+        }
+    }
+
+    /// Immutable access to the packet history (diagnostics, experiments).
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P_TRUE: f64 = 1.0000524e-9; // 1 GHz, +52.4 PPM skew
+
+    /// Ideal exchange generator: symmetric path, optional forward queueing
+    /// `qf` and backward queueing `qb`, optional server timestamp error.
+    fn ex(t: f64, qf: f64, qb: f64, server_err: f64) -> RawExchange {
+        let d = 450e-6;
+        let s = 20e-6;
+        RawExchange {
+            ta_tsc: (t / P_TRUE).round() as u64,
+            tb: t + d + qf + server_err,
+            te: t + d + qf + s + server_err,
+            tf_tsc: ((t + 2.0 * d + s + qf + qb) / P_TRUE).round() as u64,
+        }
+    }
+
+    fn clock() -> TscNtpClock {
+        TscNtpClock::new(ClockConfig::paper_defaults(16.0))
+    }
+
+    #[test]
+    fn bootstrap_requires_two_packets() {
+        let mut c = clock();
+        assert!(c.process(ex(0.0, 0.0, 0.0, 0.0)).is_none());
+        assert!(c.status().p_hat.is_none());
+        let out = c.process(ex(16.0, 0.0, 0.0, 0.0)).unwrap();
+        assert!(out.p_hat > 0.0);
+        assert_eq!(c.status().packets, 2);
+    }
+
+    #[test]
+    fn malformed_packets_rejected() {
+        let mut c = clock();
+        let mut bad = ex(0.0, 0.0, 0.0, 0.0);
+        bad.tf_tsc = bad.ta_tsc; // zero RTT
+        assert!(c.process(bad).is_none());
+        assert_eq!(c.status().packets, 0);
+    }
+
+    #[test]
+    fn rate_converges_below_0_1_ppm() {
+        let mut c = clock();
+        for k in 0..2000u64 {
+            let q = if k % 11 == 0 { 3e-3 } else { 20e-6 };
+            c.process(ex(k as f64 * 16.0, q * 0.6, q * 0.4, 0.0));
+        }
+        let p = c.status().p_hat.unwrap();
+        let rel = ((p - P_TRUE) / P_TRUE).abs();
+        assert!(rel < 1e-7, "rate rel error {rel:.2e}");
+    }
+
+    #[test]
+    fn difference_clock_measures_intervals_to_microseconds() {
+        let mut c = clock();
+        for k in 0..1000u64 {
+            c.process(ex(k as f64 * 16.0, 10e-6, 10e-6, 0.0));
+        }
+        // a 2-second interval in counter units
+        let a = (5000.0 / P_TRUE) as u64;
+        let b = ((5000.0 + 2.0) / P_TRUE) as u64;
+        let dt = c.difference_seconds(a, b).unwrap();
+        assert!(
+            (dt - 2.0).abs() < 1e-6,
+            "2 s interval measured as {dt} (err {})",
+            dt - 2.0
+        );
+    }
+
+    #[test]
+    fn absolute_clock_tracks_server_time() {
+        let mut c = clock();
+        let mut last_tf = 0u64;
+        for k in 0..1000u64 {
+            let e = ex(k as f64 * 16.0, 15e-6, 10e-6, 0.0);
+            last_tf = e.tf_tsc;
+            c.process(e);
+        }
+        let t_true = last_tf as f64 * P_TRUE; // truth: counter built from truth
+        let ca = c.absolute_time(last_tf).unwrap();
+        assert!(
+            (ca - t_true).abs() < 200e-6,
+            "absolute clock error {}",
+            ca - t_true
+        );
+    }
+
+    #[test]
+    fn offset_estimate_filters_congestion() {
+        // θ̂ itself converges to the (unobservable, constant) C̄ anchoring
+        // error; what must stay small is the *absolute clock* error vs
+        // truth, which cancels that constant. The first packet is heavily
+        // congested on purpose, so the anchor error is large (~5 ms).
+        let mut c = clock();
+        let mut worst = 0.0f64;
+        for k in 0..1500u64 {
+            // asymmetric congestion: naive estimates biased by up to −2.5 ms
+            let qf = if k % 4 == 0 { 5e-3 } else { 30e-6 };
+            let t = k as f64 * 16.0;
+            let e = ex(t, qf, 20e-6, 0.0);
+            let tf_true = t + 2.0 * 450e-6 + 20e-6 + qf + 20e-6;
+            let tf_tsc = e.tf_tsc;
+            if c.process(e).is_some() && k > 300 {
+                let ca = c.absolute_time(tf_tsc).unwrap();
+                worst = worst.max((ca - tf_true).abs());
+            }
+        }
+        assert!(
+            worst < 150e-6,
+            "absolute clock must stay ≪ naive bias, worst {worst}"
+        );
+    }
+
+    #[test]
+    fn server_fault_triggers_sanity_and_is_contained() {
+        let mut c = clock();
+        for k in 0..500u64 {
+            c.process(ex(k as f64 * 16.0, 20e-6, 20e-6, 0.0));
+        }
+        let theta_before = c.status().theta_hat.unwrap();
+        let mut sanity_fired = false;
+        for k in 500..515u64 {
+            if let Some(out) = c.process(ex(k as f64 * 16.0, 20e-6, 20e-6, 0.150)) {
+                if out.events.contains(&ClockEvent::OffsetSanity) {
+                    sanity_fired = true;
+                }
+            }
+        }
+        assert!(sanity_fired, "offset sanity must fire during the fault");
+        let theta_during = c.status().theta_hat.unwrap();
+        assert!(
+            (theta_during - theta_before).abs() < 1.5e-3,
+            "damage must be ≲1 ms (paper §6.1), got {}",
+            theta_during - theta_before
+        );
+        // recovery after the fault clears
+        for k in 515..700u64 {
+            c.process(ex(k as f64 * 16.0, 20e-6, 20e-6, 0.0));
+        }
+        let theta_after = c.status().theta_hat.unwrap();
+        assert!(
+            (theta_after - theta_before).abs() < 200e-6,
+            "post-fault recovery failed: {}",
+            theta_after - theta_before
+        );
+    }
+
+    #[test]
+    fn downward_shift_absorbed_silently() {
+        let mut c = clock();
+        for k in 0..400u64 {
+            c.process(ex(k as f64 * 16.0, 20e-6, 20e-6, 0.0));
+        }
+        // −0.36 ms symmetric downward shift: build exchanges with smaller d
+        let mut saw_new_min = false;
+        let mut theta_tail = 0.0;
+        for k in 400..900u64 {
+            let t = k as f64 * 16.0;
+            let d = 450e-6 - 180e-6;
+            let s = 20e-6;
+            let e = RawExchange {
+                ta_tsc: (t / P_TRUE).round() as u64,
+                tb: t + d + 20e-6,
+                te: t + d + 20e-6 + s,
+                tf_tsc: ((t + 2.0 * d + s + 40e-6) / P_TRUE).round() as u64,
+            };
+            if let Some(out) = c.process(e) {
+                if out.events.contains(&ClockEvent::NewRttMinimum) {
+                    saw_new_min = true;
+                }
+                theta_tail = out.theta_hat;
+            }
+        }
+        assert!(saw_new_min, "downward shift must register as new minimum");
+        // Δ unchanged → offset estimate unaffected (Figure 11d)
+        assert!(
+            theta_tail.abs() < 150e-6,
+            "downward shift must not disturb offset: {theta_tail}"
+        );
+    }
+
+    #[test]
+    fn upward_shift_detected_and_rebased() {
+        let mut cfg = ClockConfig::paper_defaults(16.0);
+        cfg.ts_window = 640.0; // 40 packets, to keep the test fast
+        let mut c = TscNtpClock::new(cfg);
+        for k in 0..300u64 {
+            c.process(ex(k as f64 * 16.0, 20e-6, 20e-6, 0.0));
+        }
+        // permanent +0.9 ms forward shift
+        let mut shift_seen = false;
+        for k in 300..600u64 {
+            let t = k as f64 * 16.0;
+            let e = RawExchange {
+                ta_tsc: (t / P_TRUE).round() as u64,
+                tb: t + 450e-6 + 0.9e-3 + 20e-6,
+                te: t + 450e-6 + 0.9e-3 + 40e-6,
+                tf_tsc: ((t + 2.0 * 450e-6 + 0.9e-3 + 60e-6) / P_TRUE).round() as u64,
+            };
+            if let Some(out) = c.process(e) {
+                if out.events.contains(&ClockEvent::UpwardShift) {
+                    shift_seen = true;
+                }
+            }
+        }
+        assert!(shift_seen, "permanent upward shift must be detected");
+        // after re-basing, fresh packets have small point errors again
+        let last = c.history().last().unwrap();
+        assert!(
+            last.point_error(c.status().p_hat.unwrap()) < 300e-6,
+            "post-shift point errors must be re-based"
+        );
+    }
+
+    #[test]
+    fn outage_recovery_without_warmup() {
+        let mut c = clock();
+        for k in 0..500u64 {
+            c.process(ex(k as f64 * 16.0, 20e-6, 20e-6, 0.0));
+        }
+        let p_before = c.status().p_hat.unwrap();
+        // 2-day gap (simulating the Figure 11a server unavailability)
+        let resume = 500.0 * 16.0 + 2.0 * 86_400.0;
+        let mut first_after = None;
+        for k in 0..200u64 {
+            if let Some(out) = c.process(ex(resume + k as f64 * 16.0, 20e-6, 20e-6, 0.0)) {
+                if first_after.is_none() {
+                    first_after = Some(out.theta_hat);
+                }
+            }
+        }
+        // "the current value of p̂ remains valid ... no warm-up required"
+        let p_after = c.status().p_hat.unwrap();
+        assert!(
+            ((p_after - p_before) / p_before).abs() < 1e-6,
+            "rate must survive the outage"
+        );
+        let theta = c.status().theta_hat.unwrap();
+        assert!(
+            theta.abs() < 500e-6,
+            "offset must recover promptly after the gap: {theta}"
+        );
+    }
+
+    #[test]
+    fn clock_continuity_across_rate_updates() {
+        // C(t) = TSC·p̂ + C̄ must not jump when p̂ updates.
+        let mut c = clock();
+        let mut prev_c: Option<f64> = None;
+        for k in 0..800u64 {
+            let e = ex(k as f64 * 16.0, 20e-6, 20e-6, 0.0);
+            let tf = e.tf_tsc;
+            if let Some(out) = c.process(e) {
+                let ct = c.uncorrected_time(tf).unwrap();
+                if let Some(prev) = prev_c {
+                    let step = ct - prev;
+                    // 16 s of clock time ± 1 ms of slack
+                    assert!(
+                        (step - 16.0).abs() < 1e-3,
+                        "clock jumped by {} at packet {}",
+                        step - 16.0,
+                        out.idx
+                    );
+                }
+                prev_c = Some(ct);
+            }
+        }
+    }
+
+    #[test]
+    fn status_snapshot_is_consistent() {
+        let mut c = clock();
+        for k in 0..300u64 {
+            c.process(ex(k as f64 * 16.0, 20e-6, 20e-6, 0.0));
+        }
+        let s = c.status();
+        assert_eq!(s.packets, 300);
+        assert!(s.warmed_up);
+        assert!(s.p_hat.is_some());
+        assert!(s.theta_hat.is_some());
+        let rtt_min = s.rtt_min.unwrap();
+        assert!(rtt_min > 900e-6 && rtt_min < 1e-3, "rtt min {rtt_min}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid clock configuration")]
+    fn invalid_config_panics() {
+        let mut cfg = ClockConfig::paper_defaults(16.0);
+        cfg.delta = -1.0;
+        TscNtpClock::new(cfg);
+    }
+
+    #[test]
+    fn local_rate_activates_with_enough_history() {
+        let mut cfg = ClockConfig::paper_defaults(16.0);
+        cfg.use_local_rate = true;
+        let mut c = TscNtpClock::new(cfg);
+        let need = cfg.warmup_packets + cfg.tau_bar_packets();
+        for k in 0..(need as u64 + 100) {
+            c.process(ex(k as f64 * 16.0, 20e-6, 20e-6, 0.0));
+        }
+        let pl = c.status().p_local.expect("local rate active");
+        assert!(((pl - P_TRUE) / P_TRUE).abs() < 0.1e-6);
+    }
+}

@@ -1,0 +1,220 @@
+//! Algorithm parameters (§5–§6 defaults).
+//!
+//! Every tunable of the paper's algorithms lives here, under the symbol
+//! names the paper uses. The defaults are the values the paper recommends
+//! and uses for its headline results; the sensitivity analyses of Figure 9
+//! sweep `tau_prime`, `quality_scale` (E) and the polling period.
+
+use serde::{Deserialize, Serialize};
+
+/// Full parameter set of the TSC-NTP clock.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]
+pub struct ClockConfig {
+    /// δ — the unit of host timestamping error (15 µs, §5.1: "Error will be
+    /// calibrated in units of the maximum timestamping error at the host").
+    pub delta: f64,
+    /// τ* — the SKM validity scale (≈1000 s, §3.1).
+    pub tau_star: f64,
+    /// τ′ — the offset-weighting window (§5.3; Figure 9(a) shows a broad
+    /// optimum around τ*/2 … 2τ*; the robustness experiments use 2τ*).
+    pub tau_prime: f64,
+    /// τ̄ — the local-rate window (5τ*, §5.2).
+    pub tau_bar: f64,
+    /// W — the local-rate near/central/far split factor (30, §5.2).
+    pub w_split: usize,
+    /// E* — rate-estimation point-error acceptance threshold
+    /// (20δ = 0.3 ms; Figure 7 also shows 5δ).
+    pub e_star: f64,
+    /// E — the offset quality-assessment scale (4δ, §5.3(ii)).
+    pub quality_scale: f64,
+    /// E**/E — the poor-quality fallback multiplier (6, §5.3(iii): "about 3
+    /// 'standard deviations' away in the Gaussian-like weight function").
+    pub fallback_mult: f64,
+    /// ε — the total-error aging rate (0.02 PPM, §5.3(i)): point errors grow
+    /// by ε per second of packet age.
+    pub aging_rate: f64,
+    /// γ* — local-rate target quality (0.05 PPM, §5.2).
+    pub gamma_star: f64,
+    /// Rate sanity bound: maximum relative step between successive local
+    /// rate estimates (3·10⁻⁷, §5.2).
+    pub rate_sanity: f64,
+    /// Es — offset sanity threshold (1 ms, §5.3(iv); "orders of magnitude
+    /// beyond the expected offset increment between neighboring packets").
+    pub offset_sanity: f64,
+    /// Upward-shift detection threshold multiplier: shift declared when
+    /// `r̂l − r̂ > shift_mult · E` (4, §6.2).
+    pub shift_mult: f64,
+    /// Ts — upward-shift detection window (τ̄/2, §6.2).
+    pub ts_window: f64,
+    /// T — the top-level sliding history window (1 week, §6.1), slid by T/2.
+    pub top_window: f64,
+    /// Nominal polling period in seconds; §6.1 converts every nominal time
+    /// window into a fixed packet count by dividing by this.
+    pub poll_period: f64,
+    /// Warm-up length Tw in RTT samples (§6.1).
+    pub warmup_packets: usize,
+    /// Whether the offset estimator uses the local-rate refinement
+    /// (equation (21) instead of (20)).
+    pub use_local_rate: bool,
+}
+
+impl ClockConfig {
+    /// Paper defaults for a given polling period.
+    pub fn paper_defaults(poll_period: f64) -> Self {
+        let delta = 15e-6;
+        let tau_star = 1000.0;
+        let tau_bar = 5.0 * tau_star;
+        Self {
+            delta,
+            tau_star,
+            tau_prime: tau_star,
+            tau_bar,
+            w_split: 30,
+            e_star: 20.0 * delta,
+            quality_scale: 4.0 * delta,
+            fallback_mult: 6.0,
+            aging_rate: 0.02e-6,
+            gamma_star: 0.05e-6,
+            rate_sanity: 3e-7,
+            offset_sanity: 1e-3,
+            shift_mult: 4.0,
+            ts_window: tau_bar / 2.0,
+            top_window: 7.0 * 86_400.0,
+            poll_period,
+            warmup_packets: 64,
+            use_local_rate: false,
+        }
+    }
+
+    /// E** — the absolute poor-quality fallback threshold.
+    pub fn e_fallback(&self) -> f64 {
+        self.fallback_mult * self.quality_scale
+    }
+
+    /// Converts a nominal time window to its packet count (≥ 1), per the
+    /// §6.1 "Lost Packets" rule.
+    pub fn window_packets(&self, window_seconds: f64) -> usize {
+        ((window_seconds / self.poll_period).round() as usize).max(1)
+    }
+
+    /// Packet count of the offset window τ′.
+    pub fn tau_prime_packets(&self) -> usize {
+        self.window_packets(self.tau_prime)
+    }
+
+    /// Packet count of the local-rate window τ̄ (including the extra far
+    /// sub-window, the total span is τ̄(W+1)/W; we size sub-windows from τ̄).
+    pub fn tau_bar_packets(&self) -> usize {
+        self.window_packets(self.tau_bar)
+    }
+
+    /// Packet count of the upward-shift window Ts.
+    pub fn ts_packets(&self) -> usize {
+        self.window_packets(self.ts_window)
+    }
+
+    /// Packet count of the top-level window T.
+    pub fn top_packets(&self) -> usize {
+        self.window_packets(self.top_window)
+    }
+
+    /// Validates parameter consistency; returns a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        // explicit comparisons so NaN parameters fail validation too
+        if self.delta.is_nan() || self.delta <= 0.0 {
+            return Err("delta must be positive".into());
+        }
+        if self.poll_period.is_nan() || self.poll_period <= 0.0 {
+            return Err("poll_period must be positive".into());
+        }
+        if [self.tau_star, self.tau_prime, self.tau_bar]
+            .iter()
+            .any(|w| w.is_nan() || *w <= 0.0)
+        {
+            return Err("time windows must be positive".into());
+        }
+        if self.w_split < 3 {
+            return Err("w_split must be at least 3".into());
+        }
+        if [self.e_star, self.quality_scale]
+            .iter()
+            .any(|e| e.is_nan() || *e <= 0.0)
+        {
+            return Err("error thresholds must be positive".into());
+        }
+        if self.fallback_mult <= 1.0 {
+            return Err("fallback_mult must exceed 1".into());
+        }
+        if self.top_window < self.tau_bar {
+            return Err("top window must contain the local-rate window".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for ClockConfig {
+    fn default() -> Self {
+        Self::paper_defaults(16.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = ClockConfig::paper_defaults(16.0);
+        assert_eq!(c.delta, 15e-6);
+        assert_eq!(c.tau_star, 1000.0);
+        assert_eq!(c.tau_bar, 5000.0);
+        assert_eq!(c.w_split, 30);
+        assert!((c.e_star - 300e-6).abs() < 1e-15);
+        assert!((c.quality_scale - 60e-6).abs() < 1e-15);
+        assert!((c.e_fallback() - 360e-6).abs() < 1e-15);
+        assert_eq!(c.aging_rate, 0.02e-6);
+        assert_eq!(c.gamma_star, 0.05e-6);
+        assert_eq!(c.rate_sanity, 3e-7);
+        assert_eq!(c.offset_sanity, 1e-3);
+        assert_eq!(c.ts_window, 2500.0);
+        assert_eq!(c.top_window, 604_800.0);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn window_packet_counts() {
+        let c = ClockConfig::paper_defaults(16.0);
+        assert_eq!(c.tau_prime_packets(), 63); // 1000/16 ≈ 62.5 → 63
+        assert_eq!(c.tau_bar_packets(), 313);
+        assert_eq!(c.ts_packets(), 156);
+        assert_eq!(c.top_packets(), 37_800);
+        // windows never collapse to zero packets
+        let coarse = ClockConfig::paper_defaults(4096.0);
+        assert!(coarse.tau_prime_packets() >= 1);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut c = ClockConfig::default();
+        c.delta = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = ClockConfig::default();
+        c.w_split = 2;
+        assert!(c.validate().is_err());
+        let mut c = ClockConfig::default();
+        c.top_window = 10.0;
+        assert!(c.validate().is_err());
+        let mut c = ClockConfig::default();
+        c.fallback_mult = 0.5;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn poll_period_scales_counts() {
+        let fine = ClockConfig::paper_defaults(16.0);
+        let coarse = ClockConfig::paper_defaults(256.0);
+        assert!(fine.tau_prime_packets() > coarse.tau_prime_packets());
+        assert_eq!(coarse.tau_prime_packets(), 4);
+    }
+}

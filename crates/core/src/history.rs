@@ -1,0 +1,350 @@
+//! Packet history and the RTT-minimum machinery.
+//!
+//! The decisive idea of §5.1 is that packet quality is judged *only* from
+//! round-trip times measured by the host counter: the **point error**
+//! `Eᵢ = rᵢ − r̂(t)`, with `r̂(t)` the running RTT minimum. Because `Ta` and
+//! `Tf` come from the same clock, neither `θ(t)` nor a precise `p(t)` is
+//! needed — "a near complete decoupling of the underlying basis of filtering
+//! from the estimation tasks".
+//!
+//! [`History`] stores the per-packet records inside the top-level sliding
+//! window `T` (1 week, slid by `T/2`, §6.1 "Windowing"), maintains `r̂` in
+//! counter units, and implements the level-shift re-basing of §6.2:
+//! downward shifts are absorbed automatically by the running minimum;
+//! upward shifts (detected elsewhere) re-base `r̂` and the stored point
+//! errors back to the shift point.
+
+use crate::exchange::RawExchange;
+use std::collections::VecDeque;
+
+/// Stored per-packet state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacketRecord {
+    /// Global index of this (accepted) packet.
+    pub idx: u64,
+    /// The raw observables.
+    pub ex: RawExchange,
+    /// `Ta` in counts as `f64` (exact for counters < 2⁵³).
+    pub ta_c: f64,
+    /// `Tf` in counts as `f64`.
+    pub tf_c: f64,
+    /// RTT in counts.
+    pub rtt_c: f64,
+    /// The RTT-minimum baseline (counts) this packet's point error is
+    /// measured against — "point errors relative to the r̂ estimate made at
+    /// the time" (§6.2), updated in place only when an upward shift re-bases
+    /// the post-shift packets.
+    pub rbase_c: f64,
+    /// The naive offset estimate `θ̂ᵢ` (equation (19)) computed at admission.
+    pub theta: f64,
+}
+
+impl PacketRecord {
+    /// Point error `Eᵢ` in seconds, given a period estimate.
+    pub fn point_error(&self, p_hat: f64) -> f64 {
+        (self.rtt_c - self.rbase_c) * p_hat
+    }
+}
+
+/// Result of pushing a packet into the history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PushOutcome {
+    /// The top-level window slid (oldest half discarded, `r̂` recomputed).
+    pub window_slid: bool,
+    /// `r̂` decreased (a new RTT minimum — including downward level shifts,
+    /// which are "automatic and immediate when using r̂", §6.2).
+    pub new_minimum: bool,
+}
+
+/// Bounded packet history with RTT-minimum maintenance.
+#[derive(Debug, Clone)]
+pub struct History {
+    records: VecDeque<PacketRecord>,
+    /// Top-level window capacity in packets (T / poll period).
+    cap: usize,
+    /// Current `r̂` in counts.
+    rtt_min_c: f64,
+    /// Index of the first packet after the most recent confirmed upward
+    /// shift; `r̂` recomputations only use packets at or after it.
+    shift_floor_idx: u64,
+    next_idx: u64,
+}
+
+impl History {
+    /// Creates a history holding at most `cap` packets (the top window).
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 4, "history window too small");
+        Self {
+            records: VecDeque::with_capacity(cap.min(1 << 20)),
+            cap,
+            rtt_min_c: f64::INFINITY,
+            shift_floor_idx: 0,
+            next_idx: 0,
+        }
+    }
+
+    /// Admits an exchange, assigning it the next global index, computing its
+    /// RTT, updating `r̂`, and storing the supplied naive offset `theta`.
+    ///
+    /// Returns the new record's index and what happened to the window.
+    pub fn push(&mut self, ex: RawExchange, theta: f64) -> (u64, PushOutcome) {
+        let idx = self.next_idx;
+        self.next_idx += 1;
+        let rtt_c = ex.rtt_counts() as f64;
+        // §6.1: "When the window reaches full size, the oldest half of the
+        // data is discarded" — slide first, so the new record's baseline is
+        // consistent with the recomputed r̂.
+        let mut window_slid = false;
+        if self.records.len() == self.cap {
+            for _ in 0..self.cap / 2 {
+                self.records.pop_front();
+            }
+            self.recompute_min();
+            window_slid = true;
+        }
+        let new_minimum = rtt_c < self.rtt_min_c;
+        if new_minimum {
+            self.rtt_min_c = rtt_c;
+            // §6.1 "Re-evaluation of Point Errors": when r̂ improves, "the
+            // past point errors effectively change ... For the purposes of
+            // future estimates the new point errors are used." Propagate the
+            // better minimum to every record of the current era (stored θ̂ᵢ
+            // are deliberately NOT recomputed, also per §6.1).
+            let floor = self.shift_floor_idx;
+            for r in self.records.iter_mut() {
+                if r.idx >= floor && r.rbase_c > rtt_c {
+                    r.rbase_c = rtt_c;
+                }
+            }
+        }
+        self.records.push_back(PacketRecord {
+            idx,
+            ex,
+            ta_c: ex.ta_tsc as f64,
+            tf_c: ex.tf_tsc as f64,
+            rtt_c,
+            rbase_c: self.rtt_min_c,
+            theta,
+        });
+        (idx, PushOutcome {
+            window_slid,
+            new_minimum,
+        })
+    }
+
+    /// Recomputes `r̂` from the retained records at or after the shift floor
+    /// (§6.1: after an upward shift "the new value will be based only on
+    /// values beyond the last detected shift point").
+    fn recompute_min(&mut self) {
+        let floor = self.shift_floor_idx;
+        let m = self
+            .records
+            .iter()
+            .filter(|r| r.idx >= floor)
+            .map(|r| r.rtt_c)
+            .fold(f64::INFINITY, f64::min);
+        if m.is_finite() {
+            self.rtt_min_c = m;
+        }
+        // if nothing qualifies (e.g. empty history), keep the old value:
+        // "our reaction can legitimately be 'change nothing'".
+    }
+
+    /// Applies a confirmed upward level shift: re-bases `r̂` to `new_min_c`
+    /// and updates the stored baselines of every packet from
+    /// `shift_start_idx` on, so their point errors are "relative to current
+    /// error level (after any shifts)" (§6.2).
+    pub fn apply_upward_shift(&mut self, new_min_c: f64, shift_start_idx: u64) {
+        self.rtt_min_c = new_min_c;
+        self.shift_floor_idx = shift_start_idx;
+        for r in self.records.iter_mut() {
+            if r.idx >= shift_start_idx {
+                r.rbase_c = new_min_c;
+            }
+        }
+    }
+
+    /// Current RTT minimum `r̂` in counts (`∞` before the first packet).
+    pub fn rtt_min_c(&self) -> f64 {
+        self.rtt_min_c
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when no packets have been admitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total packets ever admitted.
+    pub fn total_admitted(&self) -> u64 {
+        self.next_idx
+    }
+
+    /// The most recent record.
+    pub fn last(&self) -> Option<&PacketRecord> {
+        self.records.back()
+    }
+
+    /// The record with global index `idx`, if still retained.
+    pub fn get(&self, idx: u64) -> Option<&PacketRecord> {
+        let front = self.records.front()?.idx;
+        if idx < front {
+            return None;
+        }
+        self.records.get((idx - front) as usize)
+    }
+
+    /// Iterates over the most recent `n` records, oldest first.
+    pub fn last_n(&self, n: usize) -> impl Iterator<Item = &PacketRecord> {
+        let skip = self.records.len().saturating_sub(n);
+        self.records.iter().skip(skip)
+    }
+
+    /// Iterates over all retained records, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &PacketRecord> {
+        self.records.iter()
+    }
+
+    /// The earliest retained record, if any.
+    pub fn first(&self) -> Option<&PacketRecord> {
+        self.records.front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ex(ta: u64, rtt: u64) -> RawExchange {
+        RawExchange {
+            ta_tsc: ta,
+            tb: ta as f64 * 1e-9 + 0.0005,
+            te: ta as f64 * 1e-9 + 0.00052,
+            tf_tsc: ta + rtt,
+        }
+    }
+
+    #[test]
+    fn running_minimum_tracks_smallest_rtt() {
+        let mut h = History::new(100);
+        h.push(ex(0, 900_000), 0.0);
+        assert_eq!(h.rtt_min_c(), 900_000.0);
+        h.push(ex(1_000_000_000, 1_200_000), 0.0);
+        assert_eq!(h.rtt_min_c(), 900_000.0);
+        let (_, out) = h.push(ex(2_000_000_000, 850_000), 0.0);
+        assert!(out.new_minimum);
+        assert_eq!(h.rtt_min_c(), 850_000.0);
+    }
+
+    #[test]
+    fn point_errors_reevaluated_when_minimum_improves() {
+        // §6.1: a better r̂ re-bases the point errors of the whole era —
+        // otherwise an unlucky congested first packet would carry a spurious
+        // zero error forever (the lock-out the paper warns against).
+        let mut h = History::new(100);
+        h.push(ex(0, 1_000_000), 0.0);
+        h.push(ex(1_000_000_000, 1_100_000), 0.0);
+        h.push(ex(2_000_000_000, 900_000), 0.0);
+        let p = 1e-9;
+        let recs: Vec<_> = h.iter().collect();
+        assert!((recs[0].point_error(p) - 100e-6).abs() < 1e-12);
+        assert!((recs[1].point_error(p) - 200e-6).abs() < 1e-12);
+        assert_eq!(recs[2].point_error(p), 0.0);
+    }
+
+    #[test]
+    fn window_slides_at_capacity_and_discards_half() {
+        let mut h = History::new(10);
+        for k in 0..10u64 {
+            let (_, out) = h.push(ex(k * 1_000_000_000, 1_000_000 + k), 0.0);
+            assert!(!out.window_slid);
+        }
+        assert_eq!(h.len(), 10);
+        let (_, out) = h.push(ex(10_000_000_000, 1_000_500), 0.0);
+        assert!(out.window_slid);
+        assert_eq!(h.len(), 6); // 10 − 5 dropped + 1 new
+        assert_eq!(h.first().unwrap().idx, 5);
+    }
+
+    #[test]
+    fn slide_recomputes_minimum_from_retained_half() {
+        let mut h = History::new(10);
+        // minimum lives in the half that will be discarded
+        h.push(ex(0, 500_000), 0.0);
+        for k in 1..10u64 {
+            h.push(ex(k * 1_000_000_000, 1_000_000 + k), 0.0);
+        }
+        assert_eq!(h.rtt_min_c(), 500_000.0);
+        h.push(ex(10_000_000_000, 1_000_500), 0.0);
+        // old minimum forgotten; new minimum from retained records
+        assert_eq!(h.rtt_min_c(), 1_000_005.0);
+    }
+
+    #[test]
+    fn upward_shift_rebases_postshift_records() {
+        let mut h = History::new(100);
+        for k in 0..10u64 {
+            h.push(ex(k * 1_000_000_000, 1_000_000), 0.0);
+        }
+        // route change: RTT jumps to 1.9M counts for packets 10..
+        for k in 10..20u64 {
+            h.push(ex(k * 1_000_000_000, 1_900_000), 0.0);
+        }
+        let p = 1e-9;
+        // before confirmation, post-shift packets look like 0.9 ms congestion
+        assert!((h.get(15).unwrap().point_error(p) - 900e-6).abs() < 1e-9);
+        h.apply_upward_shift(1_900_000.0, 10);
+        assert_eq!(h.rtt_min_c(), 1_900_000.0);
+        assert_eq!(h.get(15).unwrap().point_error(p), 0.0);
+        // pre-shift packets keep their original baseline
+        assert_eq!(h.get(5).unwrap().point_error(p), 0.0);
+    }
+
+    #[test]
+    fn shift_floor_respected_on_slide() {
+        let mut h = History::new(10);
+        for k in 0..5u64 {
+            h.push(ex(k * 1_000_000_000, 1_000_000), 0.0);
+        }
+        for k in 5..10u64 {
+            h.push(ex(k * 1_000_000_000, 1_900_000), 0.0);
+        }
+        h.apply_upward_shift(1_900_000.0, 5);
+        // slide: drops packets 0..5; min recomputed over idx ≥ 5
+        h.push(ex(10_000_000_000, 1_950_000), 0.0);
+        assert_eq!(h.rtt_min_c(), 1_900_000.0);
+    }
+
+    #[test]
+    fn get_and_last_n() {
+        let mut h = History::new(8);
+        for k in 0..6u64 {
+            h.push(ex(k * 1_000_000_000, 1_000_000), 0.0);
+        }
+        assert_eq!(h.get(3).unwrap().idx, 3);
+        assert!(h.get(99).is_none());
+        let last3: Vec<u64> = h.last_n(3).map(|r| r.idx).collect();
+        assert_eq!(last3, vec![3, 4, 5]);
+        let all: Vec<u64> = h.last_n(100).map(|r| r.idx).collect();
+        assert_eq!(all.len(), 6);
+    }
+
+    #[test]
+    fn empty_history_state() {
+        let h = History::new(10);
+        assert!(h.is_empty());
+        assert!(h.last().is_none());
+        assert!(h.rtt_min_c().is_infinite());
+        assert_eq!(h.total_admitted(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_capacity_rejected() {
+        History::new(3);
+    }
+}

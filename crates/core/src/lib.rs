@@ -1,0 +1,74 @@
+//! # tscclock — the robust TSC-NTP software clock of Veitch–Babu–Pásztor
+//!
+//! A faithful implementation of *"Robust Synchronization of Software Clocks
+//! Across the Internet"* (IMC 2004): a feed-forward clock built on the CPU
+//! cycle counter (TSC), calibrated in **rate** and **offset** from ordinary
+//! NTP exchanges, and engineered to stay accurate through congestion, loss,
+//! outages, route changes, temperature swings and even faulty server
+//! timestamps.
+//!
+//! ## The two clocks
+//!
+//! The central design statement of the paper is that a rate-centric clock
+//! must come in two forms (§2.2):
+//!
+//! * [`TscNtpClock::difference_seconds`] — the **difference clock**
+//!   `Cd(t) = TSC(t)·p̂(t)`: smooth, never stepped, accurate to ≲ 1 µs for
+//!   intervals below the SKM scale τ* ≈ 1000 s;
+//! * [`TscNtpClock::absolute_time`] — the **absolute clock**
+//!   `Ca(t) = Cd(t) + C̄ − θ̂(t)`: absolute (Unix-like) time, corrected by
+//!   the filtered offset estimate.
+//!
+//! ## Pipeline
+//!
+//! ```text
+//!  RawExchange ──▶ History (r̂, point errors, top window T)   [history]
+//!        │               │
+//!        │               ├──▶ GlobalRate p̂   (E* gating, Δ(t) damping)
+//!        │               ├──▶ LocalRate  p̂l  (τ̄ window, γ* gate, sanity)
+//!        │               ├──▶ ShiftDetector  (r̂l vs r̂ + 4E)
+//!        │               └──▶ OffsetEstimator θ̂ (weights, fallback, Es)
+//!        ▼
+//!  ProcessOutput { θ̂, p̂, p̂l, events }
+//! ```
+//!
+//! ## Quick example
+//!
+//! ```
+//! use tscclock::{ClockConfig, RawExchange, TscNtpClock};
+//!
+//! let mut clock = TscNtpClock::new(ClockConfig::paper_defaults(16.0));
+//! // Feed exchanges (here: two synthetic ones from a perfect 1 GHz host).
+//! let mk = |t: f64| RawExchange {
+//!     ta_tsc: (t * 1e9) as u64,
+//!     tb: t + 450e-6,
+//!     te: t + 470e-6,
+//!     tf_tsc: ((t + 940e-6) * 1e9) as u64,
+//! };
+//! clock.process(mk(0.0));
+//! clock.process(mk(16.0));
+//! assert!(clock.status().p_hat.is_some());
+//! ```
+
+pub mod asym;
+pub mod clock;
+pub mod config;
+pub mod exchange;
+pub mod history;
+pub mod local_rate;
+pub mod naive;
+pub mod offset;
+pub mod rate;
+pub mod shift;
+pub mod units;
+
+pub use asym::{estimate_asymmetry, RefExchange};
+pub use clock::{ClockEvent, ClockStatus, ProcessOutput, TscNtpClock};
+pub use config::ClockConfig;
+pub use exchange::RawExchange;
+pub use history::{History, PacketRecord};
+pub use local_rate::{LocalRate, LocalRateEvent};
+pub use naive::{naive_offset, naive_rate, naive_rate_backward, naive_rate_forward};
+pub use offset::{OffsetEstimator, OffsetEvent};
+pub use rate::{GlobalRate, RateEvent};
+pub use shift::{ShiftDetector, UpwardShift};

@@ -1,0 +1,423 @@
+//! Offset synchronization `θ̂(t)` (§5.3).
+//!
+//! The four-stage per-packet scheme:
+//!
+//! 1. **total error** `Eᵀᵢ = Eᵢ + ε·(Cd(t) − Cd(Tf,i))` — the point error
+//!    inflated by packet age at the residual-rate allowance ε = 0.02 PPM;
+//! 2. **weights** `wᵢ = exp(−(Eᵀᵢ/E)²)` over the packets inside the SKM
+//!    window `τ′`, penalising "poor total quality very heavily";
+//! 3. **weighted sum** (equation (20)), optionally with the local-rate
+//!    linear prediction (equation (21)); when every packet in the window is
+//!    poor (`min Eᵀ > E** = 6E`, "about 3 'standard deviations'"), fall back
+//!    to carrying the last estimate forward (equations (22)/(23));
+//! 4. **sanity check**: successive estimates may not differ by more than
+//!    `Es = 1 ms` — "orders of magnitude beyond the expected offset
+//!    increment between neighboring packets"; violations duplicate the most
+//!    recent trusted value. The check is deliberately crude and *loose*:
+//!    tightening it would "replace the main filtering algorithm with a crude
+//!    alternative dangerously subject to 'lock-out'".
+
+use crate::config::ClockConfig;
+use crate::history::{History, PacketRecord};
+
+/// Events from an offset update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OffsetEvent {
+    /// Weighted estimate produced normally.
+    Weighted,
+    /// Window quality was too poor; the previous estimate was carried
+    /// forward (equations (22)/(23)).
+    PoorQualityFallback,
+    /// After a large data gap with poor new data, the new naive estimate was
+    /// blended with the aged previous estimate (§6.1 "Lost Packets").
+    GapBlend,
+    /// The sanity check fired; previous trusted value duplicated.
+    SanityDuplicated,
+    /// First estimate initialised.
+    Initialised,
+}
+
+/// The offset estimator.
+#[derive(Debug, Clone)]
+pub struct OffsetEstimator {
+    theta: Option<f64>,
+    /// `Tf` counts at the last evaluation.
+    last_tfc: f64,
+    /// Estimated error of the last *weighted* estimate (seconds), aged for
+    /// the gap-blend fallback.
+    last_err: f64,
+    /// Consecutive sanity duplications (lock-out escape counter).
+    sanity_run: u32,
+}
+
+impl Default for OffsetEstimator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OffsetEstimator {
+    /// New, uninitialised estimator.
+    pub fn new() -> Self {
+        Self {
+            theta: None,
+            last_tfc: f64::NAN,
+            last_err: f64::INFINITY,
+            sanity_run: 0,
+        }
+    }
+
+    /// Current offset estimate `θ̂`, if initialised.
+    pub fn theta(&self) -> Option<f64> {
+        self.theta
+    }
+
+    /// Estimated error bound of the current estimate (seconds).
+    pub fn error_estimate(&self) -> f64 {
+        self.last_err
+    }
+
+    /// Predicts `θ̂` at host counter reading `tf_c` using the optional
+    /// local-rate residual `γ̂l` (equation (23); constant prediction when
+    /// `γ̂l` is `None`, equation (22)).
+    pub fn predict(&self, tf_c: f64, p_hat: f64, gamma_l: Option<f64>) -> Option<f64> {
+        let th = self.theta?;
+        match gamma_l {
+            Some(g) if self.last_tfc.is_finite() => {
+                // Equation (23): θ̂(t) = θ̂(tf,i) − γ̂l (Cd(t) − Cd(Tf,i)).
+                // A locally-slow oscillator (p̂l > p̄, γ̂l > 0) makes C run
+                // slow, so the offset *decreases* with age.
+                Some(th - g * (tf_c - self.last_tfc) * p_hat)
+            }
+            _ => Some(th),
+        }
+    }
+
+    /// Processes packet `k` (already admitted to `history`). Returns the
+    /// current estimate and the event that produced it.
+    ///
+    /// * `p_hat`, `c_bar` — the current clock `C(T) = T·p̂ + C̄`. Each
+    ///   packet's naive θ̂ᵢ (equation (19)) is evaluated *live* against this
+    ///   clock, so all contributions to the weighted sum refer to the same
+    ///   clock even across rate updates. (The paper stores the values and
+    ///   "does not retrospectively alter estimates already calculated" —
+    ///   fine at 16 s polling, but at coarse polling the warm-up rate
+    ///   updates would make stored values mutually inconsistent by
+    ///   Δp/p · age, which reaches milliseconds.)
+    /// * `gamma_l` — local-rate residual, `None` when disabled or stale;
+    /// * `warmup` — §6.1: during warm-up "the quality assessment parameter E
+    ///   is increased" (we use 3E) while the SKM window fills;
+    /// * `gap_large` — the previous packet is further back than τ̄/2.
+    #[allow(clippy::too_many_arguments)]
+    pub fn process(
+        &mut self,
+        cfg: &ClockConfig,
+        history: &History,
+        k: &PacketRecord,
+        p_hat: f64,
+        c_bar: f64,
+        gamma_l: Option<f64>,
+        warmup: bool,
+        gap_large: bool,
+    ) -> (f64, OffsetEvent) {
+        let theta_of = |r: &PacketRecord| {
+            r.ex.host_midpoint_counts() * p_hat + c_bar - r.ex.server_midpoint()
+        };
+        let e_scale = cfg.quality_scale * if warmup { 3.0 } else { 1.0 };
+        let window_n = cfg.tau_prime_packets();
+        // Equation (21): θ̂(t) = Σ wᵢ (θ̂ᵢ − γ̂l (Cd(t) − Cd(Tf,i))) / Σ wᵢ
+        // (with γ̂l = 0 this is equation (20)). The per-packet correction
+        // projects each stored θ̂ᵢ forward by the residual rate over its age.
+        let g = gamma_l.unwrap_or(0.0);
+        let mut sum_w = 0.0;
+        let mut sum_wth = 0.0;
+        let mut min_et = f64::INFINITY;
+        for r in history.last_n(window_n) {
+            let age = (k.tf_c - r.tf_c) * p_hat;
+            let et = r.point_error(p_hat) + cfg.aging_rate * age;
+            min_et = min_et.min(et);
+            let w = (-(et / e_scale).powi(2)).exp();
+            sum_w += w;
+            sum_wth += w * (theta_of(r) - g * age);
+        }
+
+        let first = self.theta.is_none();
+        let quality_poor = min_et > cfg.e_fallback() || sum_w <= f64::MIN_POSITIVE;
+
+        let (candidate, mut event) = if quality_poor && !first {
+            if gap_large {
+                // §6.1: blend the new naive estimate (weighted by its point
+                // error) with the aged previous estimate.
+                let e_new = k.point_error(p_hat);
+                let elapsed = (k.tf_c - self.last_tfc).max(0.0) * p_hat;
+                let e_old = self.last_err + cfg.aging_rate * elapsed;
+                let w_new = (-(e_new / e_scale).powi(2)).exp().max(1e-300);
+                let w_old = (-(e_old / e_scale).powi(2)).exp().max(1e-300);
+                let prev = self
+                    .predict(k.tf_c, p_hat, gamma_l)
+                    .expect("theta set when !first");
+                (
+                    (w_new * theta_of(k) + w_old * prev) / (w_new + w_old),
+                    OffsetEvent::GapBlend,
+                )
+            } else {
+                // Equations (22)/(23): carry the last estimate forward.
+                let prev = self
+                    .predict(k.tf_c, p_hat, gamma_l)
+                    .expect("theta set when !first");
+                (prev, OffsetEvent::PoorQualityFallback)
+            }
+        } else {
+            (sum_wth / sum_w.max(f64::MIN_POSITIVE), OffsetEvent::Weighted)
+        };
+
+        // Stage (iv): the sanity check. The threshold enforces "the offset
+        // estimate cannot vary in a way which we know is impossible": over
+        // the elapsed time since the last estimate the hardware can drift at
+        // most 0.1 PPM, so the allowance is Es + 1e-7·Δt — for back-to-back
+        // polls that is Es, but across a multi-day data gap the legitimate
+        // drift grows and must not be mistaken for a fault (lock-out).
+        let elapsed = if self.last_tfc.is_finite() {
+            ((k.tf_c - self.last_tfc) * p_hat).max(0.0)
+        } else {
+            0.0
+        };
+        let sanity_threshold = cfg.offset_sanity + 1e-7 * elapsed;
+        // Bounded patience: if the check has fired for a long run of
+        // consecutive packets, the data level has genuinely moved (the
+        // server is the only absolute reference there is) — accept rather
+        // than duplicate a stale value forever. Fallback packets carry the
+        // previous value, so they neither trigger nor clear the counter.
+        let max_run = (2 * cfg.tau_prime_packets()).max(64) as u32;
+        let theta_new = match self.theta {
+            // §6.1: the check guards a *converged* clock ("the expected
+            // offset increment between neighboring packets"); during warm-up
+            // increments are legitimately large while p̂ settles, so the
+            // check is suspended.
+            Some(prev)
+                if !warmup
+                    && (candidate - prev).abs() > sanity_threshold
+                    && self.sanity_run < max_run =>
+            {
+                event = OffsetEvent::SanityDuplicated;
+                self.sanity_run += 1;
+                prev
+            }
+            Some(_) => {
+                if event == OffsetEvent::Weighted || event == OffsetEvent::GapBlend {
+                    self.sanity_run = 0;
+                }
+                candidate
+            }
+            None => {
+                event = OffsetEvent::Initialised;
+                candidate
+            }
+        };
+
+        self.theta = Some(theta_new);
+        self.last_tfc = k.tf_c;
+        if event == OffsetEvent::Weighted || event == OffsetEvent::Initialised {
+            // error of a weighted estimate ≈ weighted mean total error
+            let mut sw = 0.0;
+            let mut swe = 0.0;
+            for r in history.last_n(window_n) {
+                let age = (k.tf_c - r.tf_c) * p_hat;
+                let et = r.point_error(p_hat) + cfg.aging_rate * age;
+                let w = (-(et / e_scale).powi(2)).exp();
+                sw += w;
+                swe += w * et;
+            }
+            if sw > 0.0 {
+                self.last_err = swe / sw;
+            }
+        } else {
+            // carried estimates age at ε
+            self.last_err += cfg.aging_rate * cfg.poll_period;
+        }
+        (theta_new, event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exchange::RawExchange;
+
+    const P: f64 = 1.0000524e-9;
+
+    /// Exchange whose naive offset is exactly `theta` with forward queueing
+    /// `q` (which biases θ̂ᵢ by −q/2 and inflates the RTT by q).
+    fn ex(t: f64, q: f64) -> RawExchange {
+        let d = 450e-6;
+        let s = 20e-6;
+        RawExchange {
+            ta_tsc: (t / P).round() as u64,
+            tb: t + d + q,
+            te: t + d + q + s,
+            tf_tsc: ((t + 2.0 * d + s + q) / P).round() as u64,
+        }
+    }
+
+    fn cfg() -> ClockConfig {
+        ClockConfig::paper_defaults(16.0)
+    }
+
+    /// Admits `ex` computing θ̂ᵢ with a fixed (p̂, C̄) pair — the clock
+    /// normally does this; tests use C̄ aligning θ̂₁ = 0.
+    fn admit(h: &mut History, e: RawExchange, p: f64, c_bar: f64) -> PacketRecord {
+        let th = crate::naive::naive_offset(&e, p, c_bar);
+        h.push(e, th);
+        *h.last().unwrap()
+    }
+
+    fn c_bar_for(e: &RawExchange, p: f64) -> f64 {
+        e.server_midpoint() - e.host_midpoint_counts() * p
+    }
+
+    #[test]
+    fn clean_data_estimates_near_zero() {
+        let c = cfg();
+        let mut h = History::new(10_000);
+        let mut est = OffsetEstimator::new();
+        let e0 = ex(0.0, 0.0);
+        let c_bar = c_bar_for(&e0, P);
+        let mut last = f64::NAN;
+        for k in 0..200u64 {
+            let e = ex(k as f64 * 16.0, 0.0);
+            let r = admit(&mut h, e, P, c_bar);
+            let (th, _) = est.process(&c, &h, &r, P, c_bar, None, k < 8, false);
+            last = th;
+        }
+        assert!(last.abs() < 20e-6, "clean θ̂ should be ≈0, got {last}");
+    }
+
+    #[test]
+    fn congestion_noise_is_filtered() {
+        let c = cfg();
+        let mut h = History::new(10_000);
+        let mut est = OffsetEstimator::new();
+        let e0 = ex(0.0, 0.0);
+        let c_bar = c_bar_for(&e0, P);
+        let mut worst = 0.0f64;
+        for k in 0..600u64 {
+            // every 5th packet suffers 2 ms of forward queueing: naive θ̂ᵢ is
+            // biased by a full −1 ms on those packets
+            let q = if k % 5 == 0 { 2e-3 } else { 0.0 };
+            let r = admit(&mut h, ex(k as f64 * 16.0, q), P, c_bar);
+            let (th, _) = est.process(&c, &h, &r, P, c_bar, None, k < 16, false);
+            if k > 100 {
+                worst = worst.max(th.abs());
+            }
+        }
+        assert!(
+            worst < 100e-6,
+            "filtered θ̂ must stay ≪ the 1 ms naive bias, worst {worst}"
+        );
+    }
+
+    #[test]
+    fn sanity_check_blocks_server_fault() {
+        let c = cfg();
+        let mut h = History::new(10_000);
+        let mut est = OffsetEstimator::new();
+        let e0 = ex(0.0, 0.0);
+        let c_bar = c_bar_for(&e0, P);
+        for k in 0..100u64 {
+            let r = admit(&mut h, ex(k as f64 * 16.0, 0.0), P, c_bar);
+            est.process(&c, &h, &r, P, c_bar, None, k < 16, false);
+        }
+        let before = est.theta().unwrap();
+        // 150 ms server fault: naive θ̂ᵢ jumps to −150 ms, RTT unaffected
+        let mut saw_sanity = false;
+        for k in 100..110u64 {
+            let mut e = ex(k as f64 * 16.0, 0.0);
+            e.tb += 0.150;
+            e.te += 0.150;
+            let r = admit(&mut h, e, P, c_bar);
+            let (_, ev) = est.process(&c, &h, &r, P, c_bar, None, false, false);
+            if ev == OffsetEvent::SanityDuplicated {
+                saw_sanity = true;
+            }
+        }
+        assert!(saw_sanity, "sanity check must fire on a 150 ms fault");
+        // damage limited to ≪ the fault size (paper: "a millisecond or less")
+        let after = est.theta().unwrap();
+        assert!(
+            (after - before).abs() < 1.5e-3,
+            "fault leaked {} into θ̂",
+            after - before
+        );
+    }
+
+    #[test]
+    fn poor_quality_window_carries_estimate_forward() {
+        let c = cfg();
+        let mut h = History::new(10_000);
+        let mut est = OffsetEstimator::new();
+        let e0 = ex(0.0, 0.0);
+        let c_bar = c_bar_for(&e0, P);
+        for k in 0..120u64 {
+            let r = admit(&mut h, ex(k as f64 * 16.0, 0.0), P, c_bar);
+            est.process(&c, &h, &r, P, c_bar, None, k < 16, false);
+        }
+        let before = est.theta().unwrap();
+        // a long congestion episode: every packet ≥ 3 ms point error. After
+        // ~τ′ packets the whole window is poor → fallback.
+        let mut saw_fallback = false;
+        for k in 120..220u64 {
+            let r = admit(&mut h, ex(k as f64 * 16.0, 3e-3), P, c_bar);
+            let (_, ev) = est.process(&c, &h, &r, P, c_bar, None, false, false);
+            if ev == OffsetEvent::PoorQualityFallback {
+                saw_fallback = true;
+            }
+        }
+        assert!(saw_fallback, "sustained congestion must trigger fallback");
+        let after = est.theta().unwrap();
+        assert!(
+            (after - before).abs() < 100e-6,
+            "estimate should barely move under fallback: {}",
+            after - before
+        );
+    }
+
+    #[test]
+    fn linear_prediction_uses_gamma_l() {
+        let mut est = OffsetEstimator::new();
+        est.theta = Some(1e-3);
+        est.last_tfc = 0.0;
+        // γ̂l = +0.05 PPM (locally slow oscillator) over 1000 s → −50 µs
+        let tf_c = 1000.0 / P;
+        let th = est.predict(tf_c, P, Some(0.05e-6)).unwrap();
+        assert!((th - 1e-3 + 50e-6).abs() < 1e-9);
+        // constant prediction without γ̂l
+        let th0 = est.predict(tf_c, P, None).unwrap();
+        assert_eq!(th0, 1e-3);
+    }
+
+    #[test]
+    fn gap_blend_pulls_toward_new_data() {
+        let c = cfg();
+        let mut h = History::new(10_000);
+        let mut est = OffsetEstimator::new();
+        let e0 = ex(0.0, 0.0);
+        let c_bar = c_bar_for(&e0, P);
+        for k in 0..100u64 {
+            let r = admit(&mut h, ex(k as f64 * 16.0, 0.0), P, c_bar);
+            est.process(&c, &h, &r, P, c_bar, None, k < 16, false);
+        }
+        // big gap, then a congested packet: window quality poor (all old
+        // packets are aged far beyond E**), gap_large = true
+        let t_resume = 100.0 * 16.0 + 50_000.0;
+        let r = admit(&mut h, ex(t_resume, 1e-3), P, c_bar);
+        let (_, ev) = est.process(&c, &h, &r, P, c_bar, None, false, true);
+        assert_eq!(ev, OffsetEvent::GapBlend);
+    }
+
+    #[test]
+    fn uninitialised_estimator_returns_none() {
+        let est = OffsetEstimator::new();
+        assert!(est.theta().is_none());
+        assert!(est.predict(0.0, P, None).is_none());
+    }
+}

@@ -1,0 +1,173 @@
+//! Upward level-shift detection (§6.2).
+//!
+//! Downward shifts need no detector: "congestion cannot result in a
+//! downward movement", so the running minimum `r̂` absorbs them
+//! automatically and immediately. Upward shifts are "indistinguishable from
+//! congestion at small scales" and misdetection is *critical* ("falsely
+//! interpreting congestion as an upward shift immediately corrupts
+//! estimates"), so detection is deliberately slow and conservative: a local
+//! minimum `r̂l` over a large sliding window `Ts = τ̄/2` must exceed `r̂` by
+//! more than `4E` before a shift is declared — at which point it is dated
+//! back to the start of the window.
+
+use tsc_stats::SlidingMin;
+
+/// A confirmed upward shift.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpwardShift {
+    /// The new minimum RTT level, in counts.
+    pub new_min_c: f64,
+    /// Global index of the first packet after the shift point
+    /// (`t = C(Tf,i) − Ts`: the window start).
+    pub start_idx: u64,
+}
+
+/// Sliding-window upward-shift detector.
+#[derive(Debug, Clone)]
+pub struct ShiftDetector {
+    window: SlidingMin,
+    threshold: f64,
+    ts_packets: usize,
+}
+
+impl ShiftDetector {
+    /// `ts_packets` — window length `Ts` in packets; `threshold` — the
+    /// detection level `4E` in seconds.
+    pub fn new(ts_packets: usize, threshold: f64) -> Self {
+        assert!(threshold > 0.0, "threshold must be positive");
+        Self {
+            window: SlidingMin::new(ts_packets.max(2)),
+            threshold,
+            ts_packets: ts_packets.max(2),
+        }
+    }
+
+    /// Observes packet `idx` with round-trip `rtt_c` counts, against the
+    /// global minimum `rtt_min_c`, using `p_hat` to convert to seconds.
+    ///
+    /// Returns a confirmed shift when the *entire* window sits above
+    /// `r̂ + 4E`. The caller must then re-base the history and call
+    /// [`ShiftDetector::reset`].
+    pub fn observe(
+        &mut self,
+        idx: u64,
+        rtt_c: f64,
+        rtt_min_c: f64,
+        p_hat: f64,
+    ) -> Option<UpwardShift> {
+        self.window.push(rtt_c);
+        if !self.window.full() {
+            return None;
+        }
+        let local_min_c = self.window.get()?;
+        let excess = (local_min_c - rtt_min_c) * p_hat;
+        if excess > self.threshold {
+            Some(UpwardShift {
+                new_min_c: local_min_c,
+                start_idx: idx.saturating_sub(self.ts_packets as u64 - 1),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Clears the window after a confirmed shift has been applied, so the
+    /// same evidence is not reused.
+    pub fn reset(&mut self) {
+        self.window.clear();
+    }
+
+    /// Window length in packets.
+    pub fn ts_packets(&self) -> usize {
+        self.ts_packets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: f64 = 1e-9;
+
+    #[test]
+    fn no_detection_before_window_full() {
+        let mut d = ShiftDetector::new(10, 240e-6);
+        for i in 0..9 {
+            assert!(d.observe(i, 2_000_000.0, 1_000_000.0, P).is_none());
+        }
+    }
+
+    #[test]
+    fn congestion_spikes_do_not_trigger() {
+        // spikes raise individual RTTs but the window minimum stays at the
+        // true level, so no shift is declared
+        let mut d = ShiftDetector::new(10, 240e-6);
+        for i in 0..100u64 {
+            let rtt = if i % 3 == 0 { 1_000_000.0 } else { 9_000_000.0 };
+            assert!(
+                d.observe(i, rtt, 1_000_000.0, P).is_none(),
+                "false positive at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn sustained_upward_shift_is_detected_and_dated() {
+        let mut d = ShiftDetector::new(10, 240e-6);
+        for i in 0..20u64 {
+            assert!(d.observe(i, 1_000_000.0, 1_000_000.0, P).is_none());
+        }
+        // +0.9 ms shift from packet 20 on
+        let mut detected = None;
+        for i in 20..40u64 {
+            if let Some(s) = d.observe(i, 1_900_000.0, 1_000_000.0, P) {
+                detected = Some((i, s));
+                break;
+            }
+        }
+        let (at, shift) = detected.expect("shift must be detected");
+        // detection exactly when the window has been fully post-shift
+        assert_eq!(at, 29);
+        assert_eq!(shift.start_idx, 20);
+        assert_eq!(shift.new_min_c, 1_900_000.0);
+    }
+
+    #[test]
+    fn shift_below_threshold_is_ignored() {
+        // +0.1 ms < 4E = 0.24 ms: absorbed as congestion, never declared
+        let mut d = ShiftDetector::new(10, 240e-6);
+        for i in 0..100u64 {
+            assert!(d.observe(i, 1_100_000.0, 1_000_000.0, P).is_none());
+        }
+    }
+
+    #[test]
+    fn temporary_shift_shorter_than_window_is_missed() {
+        // the Figure 11(c) temporary shift: duration < Ts → never detected
+        // (and the paper shows it "makes little impact on the estimates")
+        let mut d = ShiftDetector::new(20, 240e-6);
+        for i in 0..30u64 {
+            assert!(d.observe(i, 1_000_000.0, 1_000_000.0, P).is_none());
+        }
+        for i in 30..40u64 {
+            assert!(d.observe(i, 1_900_000.0, 1_000_000.0, P).is_none());
+        }
+        for i in 40..80u64 {
+            assert!(
+                d.observe(i, 1_000_000.0, 1_000_000.0, P).is_none(),
+                "returning to baseline must clear the evidence"
+            );
+        }
+    }
+
+    #[test]
+    fn reset_clears_evidence() {
+        let mut d = ShiftDetector::new(5, 240e-6);
+        for i in 0..10u64 {
+            d.observe(i, 1_900_000.0, 1_000_000.0, P);
+        }
+        d.reset();
+        // after reset the window must refill before another detection
+        assert!(d.observe(10, 1_900_000.0, 1_900_000.0, P).is_none());
+    }
+}

@@ -1,0 +1,70 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro all [--full] [--seed N]     run every experiment
+//! repro fig9a [--full] [--seed N]   run one experiment
+//! repro list                        list experiment ids
+//! ```
+//!
+//! Defaults use shortened (but representative) durations; `--full` restores
+//! the paper's spans. Run with `--release` — the simulator covers months of
+//! trace per second of wall clock.
+
+use tsc_experiments::{run_by_id, ExpOptions, ALL_IDS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+        return;
+    }
+    let mut opt = ExpOptions::default();
+    let mut ids: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => opt.full = true,
+            "--seed" => {
+                i += 1;
+                opt.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "list" => {
+                for id in ALL_IDS {
+                    println!("{id}");
+                }
+                return;
+            }
+            "all" => ids.extend(ALL_IDS.iter().map(|s| s.to_string())),
+            other if !other.starts_with('-') => ids.push(other.to_string()),
+            other => die(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    if ids.is_empty() {
+        usage();
+        return;
+    }
+    for id in &ids {
+        let t0 = std::time::Instant::now();
+        match run_by_id(id, opt) {
+            Some(report) => {
+                println!("{}", report.render());
+                eprintln!("[{id}] completed in {:?}\n", t0.elapsed());
+            }
+            None => eprintln!("unknown experiment id: {id} (try `repro list`)"),
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: repro <all | list | EXPERIMENT_ID...> [--full] [--seed N]");
+    eprintln!("experiments: {}", ALL_IDS.join(" "));
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

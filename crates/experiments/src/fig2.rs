@@ -1,0 +1,87 @@
+//! Figure 2: offset drift of the uncorrected clock in two temperature
+//! environments, over 1000 s (left) and ~a week (right).
+//!
+//! The paper detrends with a constant `p̂` that forces first and last
+//! offsets to zero, then checks that the residual always falls inside the
+//! ±0.1 PPM cone. We reproduce both panels as summary series.
+
+use crate::fmt::{fmt_time, table, Report};
+use crate::ExpOptions;
+use tsc_osc::Environment;
+use tsc_stats::regression::detrend_endpoints;
+
+/// Samples the oscillator offset (vs truth) every `step` seconds.
+fn offset_trace(env: Environment, seed: u64, step: f64, n: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut osc = env.build(seed);
+    let ts: Vec<f64> = (0..n).map(|i| i as f64 * step).collect();
+    let xs: Vec<f64> = ts.iter().map(|&t| osc.advance_to(t)).collect();
+    (ts, xs)
+}
+
+/// Runs both panels for laboratory and machine-room.
+pub fn run(opt: ExpOptions) -> Report {
+    let mut r = Report::new(
+        "fig2",
+        "Figure 2 — offset variations theta(t) of C(t), lab vs machine-room",
+    );
+    let days = if opt.full { 7.0 } else { 5.0 };
+    let mut rows = Vec::new();
+    for env in [Environment::Laboratory, Environment::MachineRoom] {
+        // Left panel: 1000 s at 1 s sampling.
+        let (ts, xs) = offset_trace(env, opt.seed, 1.0, 1000);
+        let resid = detrend_endpoints(&ts, &xs).expect("non-degenerate");
+        let max_small = resid.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        // Right panel: a week at 64 s sampling.
+        let n = (days * 86_400.0 / 64.0) as usize;
+        let (ts, xs) = offset_trace(env, opt.seed + 1, 64.0, n);
+        let resid = detrend_endpoints(&ts, &xs).expect("non-degenerate");
+        let max_large = resid.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        // The ±0.1 PPM cone at the trace end.
+        let cone_small = 1e-7 * 1000.0;
+        let cone_large = 1e-7 * days * 86_400.0;
+        rows.push(vec![
+            env.name().to_string(),
+            fmt_time(max_small),
+            fmt_time(cone_small),
+            fmt_time(max_large),
+            fmt_time(cone_large),
+        ]);
+        let tag = env.name().replace('-', "_");
+        r.metrics
+            .push((format!("{tag}_max_resid_1000s_us"), max_small * 1e6));
+        r.metrics
+            .push((format!("{tag}_max_resid_week_ms"), max_large * 1e3));
+        r.metrics
+            .push((format!("{tag}_cone_ratio_week"), max_large / cone_large));
+    }
+    r.line(table(
+        &["environment", "max|resid| 1000s", "cone 1000s", "max|resid| week", "cone week"],
+        &rows,
+    ));
+    r.line("Paper: residuals stay within the 0.1 PPM cone at all scales;");
+    r.line("lab drifts more than machine-room at day scales (right panel).");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn residuals_inside_cone() {
+        let r = run(ExpOptions {
+            seed: 3,
+            full: false,
+        });
+        for env in ["laboratory", "machine_room"] {
+            let ratio = r.get(&format!("{env}_cone_ratio_week")).unwrap();
+            assert!(
+                ratio < 1.0,
+                "{env}: weekly residual exceeded the 0.1 PPM cone ({ratio})"
+            );
+        }
+        // paper's right panel: offsets reach the multi-ms range over a week
+        let lab = r.get("laboratory_max_resid_week_ms").unwrap();
+        assert!(lab > 0.3, "lab weekly drift should be ≳ ms: {lab}");
+    }
+}

@@ -1,0 +1,112 @@
+//! Figure 5: naive per-packet rate estimates vs reference, with a steadily
+//! increasing baseline Δ(TSC).
+//!
+//! The i-th estimate compares packet i against packet 1 (equation (17),
+//! backward path), normalised against the long-term rate. The bulk of the
+//! estimates falls within 0.1 PPM as 1/Δ(t) damping kicks in, but
+//! congested packets still produce large errors at any baseline — the
+//! motivation for quality gating.
+
+use crate::fmt::{table, Report};
+use crate::ExpOptions;
+use tsc_netsim::Scenario;
+use tscclock::naive::naive_rate_backward;
+use tscclock::RawExchange;
+
+/// Runs one day of 16 s polls and evaluates the naive estimator.
+pub fn run(opt: ExpOptions) -> Report {
+    let mut r = Report::new("fig5", "Figure 5 — naive per-packet rate estimates vs reference");
+    let _ = opt.full; // one day in both modes, as in the paper
+    let sc = Scenario::baseline(opt.seed).with_duration(86_400.0);
+    let exchanges: Vec<_> = sc.run().into_iter().filter(|e| !e.lost).collect();
+    let first = &exchanges[0];
+    let j = RawExchange {
+        ta_tsc: first.ta_tsc,
+        tb: first.tb,
+        te: first.te,
+        tf_tsc: first.tf_tsc,
+    };
+    // long-term reference rate from the DAG over the whole trace
+    let last = exchanges.last().expect("non-empty");
+    let p_ref = crate::runner::reference_rate(first.tf_tsc, first.tg, last.tf_tsc, last.tg)
+        .expect("valid reference");
+
+    let mut series = Vec::new(); // (t_days, rel_err)
+    for e in exchanges.iter().skip(1) {
+        let i = RawExchange {
+            ta_tsc: e.ta_tsc,
+            tb: e.tb,
+            te: e.te,
+            tf_tsc: e.tf_tsc,
+        };
+        if let Some(p) = naive_rate_backward(&j, &i) {
+            series.push((e.poll_time / 86_400.0, (p - p_ref) / p_ref));
+        }
+    }
+    // Summaries over bands of elapsed baseline.
+    let mut rows = Vec::new();
+    let bands = [
+        (0.0, 0.01),
+        (0.01, 0.05),
+        (0.05, 0.2),
+        (0.2, 0.5),
+        (0.5, 1.0),
+    ];
+    let mut in_band_frac_last = 0.0;
+    let mut worst_late: f64 = 0.0;
+    for &(lo, hi) in &bands {
+        let vals: Vec<f64> = series
+            .iter()
+            .filter(|&&(t, _)| t >= lo && t < hi)
+            .map(|&(_, v)| v)
+            .collect();
+        if vals.is_empty() {
+            continue;
+        }
+        let frac_within =
+            vals.iter().filter(|v| v.abs() < 1e-7).count() as f64 / vals.len() as f64;
+        let worst = vals.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        if hi == 1.0 {
+            in_band_frac_last = frac_within;
+            worst_late = worst;
+        }
+        rows.push(vec![
+            format!("{lo:.2}-{hi:.2}"),
+            format!("{}", vals.len()),
+            format!("{:.1}%", frac_within * 100.0),
+            format!("{:.4}", worst * 1e6),
+        ]);
+    }
+    r.line(table(
+        &["T_e band [day]", "n", "within 0.1PPM", "worst |err| [PPM]"],
+        &rows,
+    ));
+    r.line("Paper: bulk of estimates fall within 0.1 PPM quickly, but heavily-");
+    r.line("delayed packets remain poor at any baseline (unbounded errors).");
+    r.metric("frac_within_01ppm_late", in_band_frac_last);
+    r.metric("worst_late_ppm", worst_late * 1e6);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bulk_converges_but_outliers_remain() {
+        let r = run(ExpOptions {
+            seed: 17,
+            full: false,
+        });
+        // by late in the day most naive estimates sit within 0.1 PPM…
+        assert!(
+            r.get("frac_within_01ppm_late").unwrap() > 0.8,
+            "bulk should be within 0.1 PPM"
+        );
+        // …yet worst-case errors are NOT controlled (can exceed 0.1 PPM)
+        assert!(
+            r.get("worst_late_ppm").unwrap() > 0.05,
+            "congested packets should still produce visible errors"
+        );
+    }
+}

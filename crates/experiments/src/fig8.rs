@@ -1,0 +1,77 @@
+//! Figure 8: the offset algorithm's estimates over a multi-week ServerInt
+//! trace, against reference and naive values.
+//!
+//! "The algorithm succeeds in filtering out the noise in the naive
+//! estimates, producing estimates which are only around 30 µs away from
+//! the reference values."
+
+use crate::fmt::{fmt_time, table, Report};
+use crate::runner::run_clock;
+use crate::ExpOptions;
+use tsc_netsim::Scenario;
+use tsc_stats::Percentiles;
+use tscclock::ClockConfig;
+
+/// Runs the trace and summarises algorithm vs naive errors.
+pub fn run(opt: ExpOptions) -> Report {
+    let mut r = Report::new("fig8", "Figure 8 — offset algorithm vs naive vs reference");
+    let days = if opt.full { 21.0 } else { 7.0 };
+    let sc = Scenario::baseline(opt.seed).with_duration(days * 86_400.0);
+    let cfg = ClockConfig::paper_defaults(sc.poll_period);
+    let run = run_clock(&sc, cfg);
+    let skip = 2000.min(run.packets.len() / 4);
+    let algo = run.abs_errors(skip);
+    let naive = run.naive_errors(skip);
+    let pa = Percentiles::from_data(&algo).expect("algo data");
+    let pn = Percentiles::from_data(&naive).expect("naive data");
+    let mut rows = Vec::new();
+    for (name, p) in [("algorithm", &pa), ("naive", &pn)] {
+        rows.push(vec![
+            name.to_string(),
+            fmt_time(p.p01),
+            fmt_time(p.p50),
+            fmt_time(p.p99),
+            fmt_time(p.iqr()),
+        ]);
+    }
+    r.line(table(&["series", "p1", "median", "p99", "IQR"], &rows));
+    r.line(format!(
+        "median |deviation from reference|: algorithm {} vs naive spread {}",
+        fmt_time(pa.p50.abs()),
+        fmt_time(pn.spread_98())
+    ));
+    r.line("Paper: algorithm estimates sit ~30 µs from reference; naive noise");
+    r.line("(ms-scale congestion) is filtered out.");
+    r.metric("algo_median_us", pa.p50 * 1e6);
+    r.metric("algo_iqr_us", pa.iqr() * 1e6);
+    r.metric("naive_iqr_us", pn.iqr() * 1e6);
+    r.metric("noise_reduction_factor", pn.iqr() / pa.iqr());
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_filters_naive_noise_to_tens_of_microseconds() {
+        let r = run(ExpOptions {
+            seed: 29,
+            full: false,
+        });
+        let med = r.get("algo_median_us").unwrap();
+        // ~Δ/2 = 25 µs ambiguity plus small estimation error
+        assert!(
+            med.abs() < 80.0,
+            "algorithm median {med} µs should be tens of µs"
+        );
+        assert!(
+            r.get("algo_iqr_us").unwrap() < 80.0,
+            "algorithm IQR should be tens of µs"
+        );
+        assert!(
+            r.get("noise_reduction_factor").unwrap() > 2.0,
+            "filtering must beat naive substantially"
+        );
+    }
+}

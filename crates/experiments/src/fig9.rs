@@ -1,0 +1,194 @@
+//! Figure 9: sensitivity of offset-error percentiles to (a) the window
+//! τ′, (b) the quality scale E, and (c) the polling period.
+//!
+//! Each panel plots the 1/25/50/75/99-percentiles of the empirical errors
+//! `θ̂(t) − θg(t)` as one parameter sweeps. The paper's finding is *very
+//! low sensitivity* across the board — the flagship robustness property.
+
+use crate::fmt::{table, Report};
+use crate::runner::run_clock;
+use crate::ExpOptions;
+use tsc_netsim::Scenario;
+use tsc_stats::Percentiles;
+use tscclock::ClockConfig;
+
+/// Shared sweep driver: runs the scenario per configuration and collects
+/// error percentiles.
+fn sweep<F>(
+    r: &mut Report,
+    opt: ExpOptions,
+    labels: &[String],
+    mut configure: F,
+    days: f64,
+) -> Vec<Percentiles>
+where
+    F: FnMut(usize) -> (Scenario, ClockConfig),
+{
+    let mut rows = Vec::new();
+    let mut all = Vec::new();
+    for (i, label) in labels.iter().enumerate() {
+        let (sc, cfg) = configure(i);
+        let sc = sc.with_duration(days * 86_400.0);
+        let run = run_clock(&sc, cfg);
+        let skip = (run.packets.len() / 5).min(2000);
+        let errs = run.abs_errors(skip);
+        let p = Percentiles::from_data(&errs).expect("data");
+        rows.push(vec![
+            label.clone(),
+            format!("{:.1}", p.p01 * 1e6),
+            format!("{:.1}", p.p25 * 1e6),
+            format!("{:.1}", p.p50 * 1e6),
+            format!("{:.1}", p.p75 * 1e6),
+            format!("{:.1}", p.p99 * 1e6),
+        ]);
+        all.push(p);
+    }
+    r.line(table(
+        &["param", "p1[us]", "p25[us]", "p50[us]", "p75[us]", "p99[us]"],
+        &rows,
+    ));
+    let _ = opt;
+    all
+}
+
+/// Panel (a): τ′/τ* ∈ {1/8 … 4}, with and without local rate.
+pub fn run_tau_prime(opt: ExpOptions) -> Report {
+    let mut r = Report::new("fig9a", "Figure 9(a) — sensitivity to window tau'");
+    let days = if opt.full { 7.0 } else { 3.0 };
+    let ratios = [0.125, 0.25, 0.5, 1.0, 2.0, 4.0];
+    for use_local in [false, true] {
+        r.line(format!(
+            "--- {} local rate ---",
+            if use_local { "with" } else { "without" }
+        ));
+        let labels: Vec<String> = ratios.iter().map(|x| format!("t'/t*={x}")).collect();
+        let ps = sweep(
+            &mut r,
+            opt,
+            &labels,
+            |i| {
+                let sc = Scenario::baseline(opt.seed);
+                let mut cfg = ClockConfig::paper_defaults(sc.poll_period);
+                cfg.tau_prime = ratios[i] * cfg.tau_star;
+                cfg.use_local_rate = use_local;
+                if use_local {
+                    cfg.tau_bar = 20.0 * cfg.tau_star; // paper uses 20τ* here
+                }
+                (sc, cfg)
+            },
+            days,
+        );
+        let medians: Vec<f64> = ps.iter().map(|p| p.p50 * 1e6).collect();
+        let spread =
+            medians.iter().cloned().fold(f64::MIN, f64::max)
+                - medians.iter().cloned().fold(f64::MAX, f64::min);
+        r.metric(
+            format!(
+                "median_spread_us_{}",
+                if use_local { "local" } else { "nolocal" }
+            ),
+            spread,
+        );
+    }
+    r.line("Paper: median ~-28 µs across a wide range of tau'; IQR ~11 µs at");
+    r.line("the optimum tau'/tau* = 0.5; very low sensitivity overall.");
+    r
+}
+
+/// Panel (b): E/δ ∈ {1 … 20} at τ′ = τ*/2.
+pub fn run_quality(opt: ExpOptions) -> Report {
+    let mut r = Report::new("fig9b", "Figure 9(b) — sensitivity to quality scale E");
+    let days = if opt.full { 7.0 } else { 3.0 };
+    let multiples = [1.0, 2.0, 3.0, 4.0, 7.0, 10.0, 20.0];
+    let labels: Vec<String> = multiples.iter().map(|x| format!("E/d={x}")).collect();
+    let ps = sweep(
+        &mut r,
+        opt,
+        &labels,
+        |i| {
+            let sc = Scenario::baseline(opt.seed);
+            let mut cfg = ClockConfig::paper_defaults(sc.poll_period);
+            cfg.tau_prime = cfg.tau_star / 2.0;
+            cfg.quality_scale = multiples[i] * cfg.delta;
+            (sc, cfg)
+        },
+        days,
+    );
+    let medians: Vec<f64> = ps.iter().map(|p| p.p50 * 1e6).collect();
+    let spread = medians.iter().cloned().fold(f64::MIN, f64::max)
+        - medians.iter().cloned().fold(f64::MAX, f64::min);
+    r.metric("median_spread_us", spread);
+    r.metric("iqr_at_4d_us", ps[3].iqr() * 1e6);
+    r.line("Paper: very low sensitivity; optimum at small multiples of delta.");
+    r
+}
+
+/// Panel (c): polling period ∈ {16 … 512} s at τ′ = τ*, E = 4δ.
+pub fn run_polling(opt: ExpOptions) -> Report {
+    let mut r = Report::new("fig9c", "Figure 9(c) — sensitivity to polling period");
+    let days = if opt.full { 7.0 } else { 3.0 };
+    let polls = [16.0, 32.0, 64.0, 128.0, 256.0, 512.0];
+    let labels: Vec<String> = polls.iter().map(|x| format!("poll={x}s")).collect();
+    let ps = sweep(
+        &mut r,
+        opt,
+        &labels,
+        |i| {
+            let sc = Scenario::baseline(opt.seed).with_poll_period(polls[i]);
+            let cfg = ClockConfig::paper_defaults(polls[i]);
+            (sc, cfg)
+        },
+        days,
+    );
+    let medians: Vec<f64> = ps.iter().map(|p| p.p50 * 1e6).collect();
+    let spread = medians.iter().cloned().fold(f64::MIN, f64::max)
+        - medians.iter().cloned().fold(f64::MAX, f64::min);
+    r.metric("median_spread_us", spread);
+    r.metric("median_at_16s_us", medians[0]);
+    r.metric("median_at_512s_us", medians[5]);
+    r.line("Paper: median changed by only a few µs despite a 32x reduction in");
+    r.line("raw information — NTP servers need not be loaded heavily.");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opt() -> ExpOptions {
+        ExpOptions {
+            seed: 31,
+            full: false,
+        }
+    }
+
+    #[test]
+    fn tau_prime_sensitivity_is_low() {
+        let r = run_tau_prime(opt());
+        let spread = r.get("median_spread_us_nolocal").unwrap();
+        assert!(
+            spread < 40.0,
+            "median should move < 40 µs across the tau' sweep: {spread}"
+        );
+    }
+
+    #[test]
+    fn quality_scale_sensitivity_is_low() {
+        let r = run_quality(opt());
+        assert!(
+            r.get("median_spread_us").unwrap() < 40.0,
+            "median should be insensitive to E"
+        );
+        assert!(r.get("iqr_at_4d_us").unwrap() < 80.0);
+    }
+
+    #[test]
+    fn polling_period_sensitivity_is_low() {
+        let r = run_polling(opt());
+        let spread = r.get("median_spread_us").unwrap();
+        assert!(
+            spread < 60.0,
+            "median spread across 16..512 s polling: {spread} µs"
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Table 1: absolute errors at key error rates and intervals.
+
+use crate::fmt::{fmt_time, table, Report};
+use tscclock::units;
+
+/// Reproduces Table 1 analytically (it is a unit-conversion table).
+pub fn run() -> Report {
+    let mut r = Report::new("table1", "Table 1 — absolute errors at key error rates/intervals");
+    let rows: Vec<Vec<String>> = units::table1()
+        .iter()
+        .map(|row| {
+            vec![
+                row.name.to_string(),
+                fmt_time(row.duration),
+                fmt_time(row.err_at_002),
+                fmt_time(row.err_at_01),
+            ]
+        })
+        .collect();
+    r.line(table(
+        &["Significant Time Interval", "Duration", "err @0.02PPM", "err @0.1PPM"],
+        &rows,
+    ));
+    let t = units::table1();
+    r.metric("skm_err_at_002_us", t[3].err_at_002 * 1e6);
+    r.metric("skm_err_at_01_us", t[3].err_at_01 * 1e6);
+    r.metric("daily_err_at_01_ms", t[4].err_at_01 * 1e3);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn matches_paper_bold_cells() {
+        let r = super::run();
+        assert!((r.get("skm_err_at_002_us").unwrap() - 20.0).abs() < 1e-9);
+        assert!((r.get("skm_err_at_01_us").unwrap() - 100.0).abs() < 1e-9);
+        assert!((r.get("daily_err_at_01_ms").unwrap() - 8.64).abs() < 1e-9);
+        assert!(r.body.contains("Weekly"));
+    }
+}

@@ -1,0 +1,246 @@
+//! One-way path delay models.
+//!
+//! §3.2 decomposes each delay into a deterministic minimum plus a positive
+//! variable component (equations (12)–(15)): `d→ = d→_min + q→`, etc. The
+//! minimum "could correspond to propagation delay, and the random component
+//! to queueing in network switching elements, which ... can take 10's of
+//! milliseconds during periods of congestion."
+//!
+//! [`PathDelay`] implements exactly that: a (shiftable) minimum plus
+//! queueing noise drawn from a light-tailed background component and a
+//! bursty congestion component — a two-state modulated process so that
+//! congestion arrives in *episodes*, as it does on real paths, rather than
+//! i.i.d. spikes.
+
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use rand_distr::{Distribution, Exp, Pareto};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the bursty congestion component.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]
+pub struct CongestionParams {
+    /// Mean time between congestion episodes (seconds of off time).
+    pub mean_off: f64,
+    /// Mean episode duration (seconds).
+    pub mean_on: f64,
+    /// Pareto scale of episode queueing delay (seconds).
+    pub scale: f64,
+    /// Pareto tail index (1 < shape; smaller = heavier tail).
+    pub shape: f64,
+}
+
+impl CongestionParams {
+    /// A lightly loaded LAN-like path.
+    pub fn light() -> Self {
+        Self {
+            mean_off: 1800.0,
+            mean_on: 60.0,
+            scale: 0.2e-3,
+            shape: 1.8,
+        }
+    }
+
+    /// A busier multi-hop path.
+    pub fn moderate() -> Self {
+        Self {
+            mean_off: 900.0,
+            mean_on: 120.0,
+            scale: 0.8e-3,
+            shape: 1.5,
+        }
+    }
+
+    /// A long, congested WAN path.
+    pub fn heavy() -> Self {
+        Self {
+            mean_off: 600.0,
+            mean_on: 240.0,
+            scale: 2.0e-3,
+            shape: 1.4,
+        }
+    }
+}
+
+/// A one-way path: deterministic minimum + positive queueing noise.
+#[derive(Debug)]
+pub struct PathDelay {
+    base_min: f64,
+    shift: f64,
+    congestion: CongestionParams,
+    bg: Exp<f64>,
+    burst: Pareto<f64>,
+    in_burst: bool,
+    last_t: f64,
+    rng: ChaCha12Rng,
+}
+
+impl PathDelay {
+    /// Creates a path with minimum delay `min_delay` seconds, background
+    /// (always-present) queueing with exponential mean `bg_mean`, and the
+    /// given congestion episode parameters.
+    pub fn new(min_delay: f64, bg_mean: f64, congestion: CongestionParams, seed: u64) -> Self {
+        assert!(min_delay >= 0.0 && bg_mean > 0.0, "invalid path params");
+        assert!(
+            congestion.shape > 1.0 && congestion.scale > 0.0,
+            "invalid congestion params"
+        );
+        Self {
+            base_min: min_delay,
+            shift: 0.0,
+            congestion,
+            bg: Exp::new(1.0 / bg_mean).expect("valid rate"),
+            burst: Pareto::new(congestion.scale, congestion.shape).expect("valid pareto"),
+            in_burst: false,
+            last_t: 0.0,
+            rng: ChaCha12Rng::seed_from_u64(seed ^ 0x9A7D_E1A9),
+        }
+    }
+
+    /// Current effective minimum delay (base + any active level shift).
+    pub fn current_min(&self) -> f64 {
+        self.base_min + self.shift
+    }
+
+    /// Applies a level shift of `delta` seconds (may be negative; the
+    /// effective minimum is floored at zero).
+    pub fn set_shift(&mut self, delta: f64) {
+        self.shift = delta.max(-self.base_min);
+    }
+
+    /// Evolves the two-state congestion chain from `last_t` to `t`.
+    fn update_burst_state(&mut self, t: f64) {
+        let dt = (t - self.last_t).max(0.0);
+        self.last_t = t;
+        // Transition probabilities over dt for a two-state Markov chain.
+        let p_flip = if self.in_burst {
+            1.0 - (-dt / self.congestion.mean_on).exp()
+        } else {
+            1.0 - (-dt / self.congestion.mean_off).exp()
+        };
+        if self.rng.random::<f64>() < p_flip {
+            self.in_burst = !self.in_burst;
+        }
+    }
+
+    /// Samples the one-way delay for a packet entering the path at true
+    /// time `t` (must be non-decreasing across calls).
+    pub fn sample(&mut self, t: f64) -> f64 {
+        self.update_burst_state(t);
+        let mut q = self.bg.sample(&mut self.rng);
+        if self.in_burst {
+            // Pareto(scale, shape) samples are ≥ scale; subtract the scale so
+            // congestion adds a heavy-tailed but zero-minimum excess.
+            q += self.burst.sample(&mut self.rng) - self.congestion.scale;
+            // plus an elevated base during the episode
+            q += self.congestion.scale;
+        }
+        self.current_min() + q
+    }
+
+    /// Whether the path is currently inside a congestion episode.
+    pub fn in_congestion(&self) -> bool {
+        self.in_burst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(seed: u64) -> PathDelay {
+        PathDelay::new(1e-3, 50e-6, CongestionParams::moderate(), seed)
+    }
+
+    #[test]
+    fn delay_never_below_minimum() {
+        let mut p = path(1);
+        for i in 0..50_000 {
+            let d = p.sample(i as f64 * 16.0);
+            assert!(d >= 1e-3, "delay {d} below minimum");
+        }
+    }
+
+    #[test]
+    fn minimum_is_approached() {
+        let mut p = path(2);
+        let mut min_seen = f64::INFINITY;
+        for i in 0..20_000 {
+            min_seen = min_seen.min(p.sample(i as f64 * 16.0));
+        }
+        // with Exp(50µs) background the minimum should be approached closely
+        assert!(
+            min_seen - 1e-3 < 10e-6,
+            "minimum not approached: excess {}",
+            min_seen - 1e-3
+        );
+    }
+
+    #[test]
+    fn congestion_episodes_occur_and_are_heavy() {
+        let mut p = path(3);
+        let mut burst_samples = Vec::new();
+        let mut calm_samples = Vec::new();
+        for i in 0..200_000 {
+            let d = p.sample(i as f64 * 16.0);
+            if p.in_congestion() {
+                burst_samples.push(d);
+            } else {
+                calm_samples.push(d);
+            }
+        }
+        assert!(
+            !burst_samples.is_empty() && !calm_samples.is_empty(),
+            "both regimes must occur"
+        );
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&burst_samples) > 3.0 * mean(&calm_samples),
+            "congestion should inflate delays: {} vs {}",
+            mean(&burst_samples),
+            mean(&calm_samples)
+        );
+        // episodes are sustained: fraction in burst should be near
+        // mean_on/(mean_on+mean_off) ≈ 0.12, not ~0 or ~1
+        let frac = burst_samples.len() as f64 / 200_000.0;
+        assert!(frac > 0.02 && frac < 0.4, "burst fraction {frac}");
+    }
+
+    #[test]
+    fn level_shift_moves_minimum() {
+        let mut p = path(4);
+        p.set_shift(0.9e-3);
+        assert!((p.current_min() - 1.9e-3).abs() < 1e-12);
+        for i in 0..1000 {
+            assert!(p.sample(i as f64) >= 1.9e-3);
+        }
+        p.set_shift(-0.36e-3);
+        assert!((p.current_min() - 0.64e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shift_cannot_make_negative_minimum() {
+        let mut p = path(5);
+        p.set_shift(-10.0);
+        assert_eq!(p.current_min(), 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = path(6);
+        let mut b = path(6);
+        for i in 0..100 {
+            assert_eq!(a.sample(i as f64 * 16.0), b.sample(i as f64 * 16.0));
+        }
+    }
+
+    #[test]
+    fn presets_are_ordered_by_severity() {
+        let l = CongestionParams::light();
+        let m = CongestionParams::moderate();
+        let h = CongestionParams::heavy();
+        assert!(l.scale < m.scale && m.scale < h.scale);
+        assert!(l.mean_on < m.mean_on && m.mean_on < h.mean_on);
+        assert!(l.shape > m.shape && m.shape > h.shape);
+    }
+}

@@ -1,0 +1,391 @@
+//! The exchange simulator: one NTP poll at a time, end to end.
+//!
+//! Implements the Figure-1 timeline. For poll `i` at true time `t`:
+//!
+//! 1. the host reads its TSC (`Ta`), then the frame departs at
+//!    `ta = t + send_latency`;
+//! 2. the frame crosses the forward path, arriving at `tb = ta + d→`; the
+//!    server stamps `Tb` with its own (imperfect, possibly faulted) clock;
+//! 3. the server holds the packet for its residence time, departing at
+//!    `te = tb + d↑` and stamping `Te`;
+//! 4. the frame crosses the backward path, arriving at the DAG tap and then
+//!    the host NIC at `tf = te + d←`; the DAG records `Tg` (first-bit
+//!    corrected); the host's interrupt fires after `recv_latency` and the
+//!    raw `Tf` TSC read happens;
+//! 5. loss and outage windows may make the exchange yield no data.
+//!
+//! Every record carries the complete ground truth, so experiments can
+//! compute both the paper's DAG-mediated "actual performance" metrics and
+//! exact errors.
+
+use crate::delay::PathDelay;
+use crate::host::HostTimestamping;
+use crate::scenario::Scenario;
+use crate::server::ServerModel;
+use crate::shifts::ShiftSchedule;
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use tsc_osc::TscCounter;
+use tsc_refmon::DagCard;
+
+/// Ground truth behind one exchange (never visible to the algorithms).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Truth {
+    /// True departure time from the host.
+    pub ta: f64,
+    /// True arrival time at the server.
+    pub tb: f64,
+    /// True departure time from the server.
+    pub te: f64,
+    /// True full-arrival time at the host NIC.
+    pub tf: f64,
+    /// Forward one-way delay `d→`.
+    pub d_fwd: f64,
+    /// Server residence `d↑`.
+    pub d_srv: f64,
+    /// Backward one-way delay `d←`.
+    pub d_back: f64,
+    /// Host oscillator time error `x(t)` at the moment of the `Tf` read.
+    pub host_err_at_tf: f64,
+}
+
+impl Truth {
+    /// True round-trip time `r_i = d→ + d↑ + d←` (equation (11)).
+    pub fn rtt(&self) -> f64 {
+        self.d_fwd + self.d_srv + self.d_back
+    }
+}
+
+/// One simulated NTP exchange: the observables plus the truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimExchange {
+    /// Packet index.
+    pub i: usize,
+    /// Scheduled poll time (true seconds since scenario start).
+    pub poll_time: f64,
+    /// `true` when the packet (or its response) never arrived — lost,
+    /// or inside an outage window. Observables are NaN/0 in that case.
+    pub lost: bool,
+    /// Host raw send timestamp `Ta` (TSC counts).
+    pub ta_tsc: u64,
+    /// Host raw receive timestamp `Tf` (TSC counts).
+    pub tf_tsc: u64,
+    /// Server receive timestamp `Tb` (server clock seconds).
+    pub tb: f64,
+    /// Server transmit timestamp `Te` (server clock seconds).
+    pub te: f64,
+    /// Reference (DAG, first-bit corrected) timestamp of host arrival.
+    pub tg: f64,
+    /// Ground truth.
+    pub truth: Truth,
+}
+
+/// Iterator-style simulator; see the module docs for the event pipeline.
+pub struct ExchangeSimulator {
+    counter: TscCounter,
+    host: HostTimestamping,
+    fwd: PathDelay,
+    back: PathDelay,
+    server: ServerModel,
+    dag: DagCard,
+    shifts: ShiftSchedule,
+    outages: Vec<(f64, f64)>,
+    loss_prob: f64,
+    poll_period: f64,
+    duration: f64,
+    t_next: f64,
+    i: usize,
+    loss_rng: ChaCha12Rng,
+}
+
+impl ExchangeSimulator {
+    /// Builds the simulator from a [`Scenario`].
+    pub fn new(sc: &Scenario) -> Self {
+        assert!(sc.poll_period > 0.0, "poll period must be positive");
+        assert!(sc.duration > 0.0, "duration must be positive");
+        let (fwd_min, back_min) = sc.server.min_delays();
+        let (qf, qb) = sc.server.queue_means();
+        let (cf, cb) = sc.server.congestion();
+        let osc = sc.environment.build(sc.seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+        let mut server = ServerModel::new(sc.seed.wrapping_add(2));
+        for f in &sc.server_faults {
+            server.add_fault(*f);
+        }
+        Self {
+            counter: TscCounter::new(sc.tsc_freq_hz, 0, osc),
+            host: HostTimestamping::new(sc.seed.wrapping_add(3)),
+            fwd: PathDelay::new(fwd_min, qf, cf, sc.seed.wrapping_add(4)),
+            back: PathDelay::new(back_min, qb, cb, sc.seed.wrapping_add(5)),
+            server,
+            dag: DagCard::dag32e(sc.seed.wrapping_add(6)),
+            shifts: sc.shifts.clone(),
+            outages: sc.outages.clone(),
+            loss_prob: sc.loss_prob,
+            poll_period: sc.poll_period,
+            duration: sc.duration,
+            t_next: sc.poll_period, // first poll after one period
+            i: 0,
+            loss_rng: ChaCha12Rng::seed_from_u64(sc.seed.wrapping_add(7)),
+        }
+    }
+
+    fn in_outage(&self, t: f64) -> bool {
+        self.outages.iter().any(|&(a, b)| t >= a && t < b)
+    }
+
+    /// Runs one poll; `None` when the scenario duration is exhausted.
+    pub fn step(&mut self) -> Option<SimExchange> {
+        if self.t_next > self.duration {
+            return None;
+        }
+        let t = self.t_next;
+        self.t_next += self.poll_period;
+        let i = self.i;
+        self.i += 1;
+
+        // Route changes active at this instant.
+        let (df, db) = self.shifts.deltas_at(t);
+        self.fwd.set_shift(df);
+        self.back.set_shift(db);
+
+        // Host sends: raw read first, then true departure.
+        let ta_tsc = self.counter.read(t);
+        let ta = t + self.host.send_latency();
+
+        let d_fwd = self.fwd.sample(ta);
+        let tb = ta + d_fwd;
+        let d_srv = self.server.residence(tb);
+        let te = tb + d_srv;
+        let d_back = self.back.sample(te);
+        let tf = te + d_back;
+
+        let lost = self.in_outage(t)
+            || self.loss_rng.random::<f64>() < self.loss_prob;
+        if lost {
+            // Advance the server/DAG state deterministically even for lost
+            // packets? No: a lost packet never reaches them. The host's
+            // counter already advanced via the `Ta` read; nothing else did.
+            return Some(SimExchange {
+                i,
+                poll_time: t,
+                lost: true,
+                ta_tsc,
+                tf_tsc: 0,
+                tb: f64::NAN,
+                te: f64::NAN,
+                tg: f64::NAN,
+                truth: Truth {
+                    ta,
+                    tb,
+                    te,
+                    tf,
+                    d_fwd,
+                    d_srv,
+                    d_back,
+                    host_err_at_tf: f64::NAN,
+                },
+            });
+        }
+
+        let tb_stamp = self.server.stamp_rx(tb);
+        let te_stamp = self.server.stamp_tx(te);
+
+        // DAG taps the wire just before the host NIC: first bit passes the
+        // tap one frame-time before full arrival.
+        let tg = self
+            .dag
+            .timestamp_corrected(tf - tsc_refmon::FIRST_BIT_CORRECTION);
+
+        let tf_read = tf + self.host.recv_latency();
+        let tf_tsc = self.counter.read(tf_read);
+        let host_err = self.counter.time_error();
+
+        Some(SimExchange {
+            i,
+            poll_time: t,
+            lost: false,
+            ta_tsc,
+            tf_tsc,
+            tb: tb_stamp,
+            te: te_stamp,
+            tg,
+            truth: Truth {
+                ta,
+                tb,
+                te,
+                tf,
+                d_fwd,
+                d_srv,
+                d_back,
+                host_err_at_tf: host_err,
+            },
+        })
+    }
+
+    /// Nominal TSC frequency of the simulated host.
+    pub fn tsc_freq_hz(&self) -> f64 {
+        self.counter.freq_hz()
+    }
+}
+
+impl Iterator for ExchangeSimulator {
+    type Item = SimExchange;
+    fn next(&mut self) -> Option<SimExchange> {
+        self.step()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::scenario::{Scenario, ServerKind};
+    use crate::server::ServerFault;
+    use crate::shifts::LevelShift;
+
+    fn short_scenario(seed: u64) -> Scenario {
+        Scenario::baseline(seed).with_duration(4.0 * 3600.0)
+    }
+
+    #[test]
+    fn produces_expected_packet_count() {
+        let sc = short_scenario(1);
+        let ex = sc.run();
+        let expect = (sc.duration / sc.poll_period) as usize;
+        assert!(ex.len() == expect, "{} vs {expect}", ex.len());
+    }
+
+    #[test]
+    fn event_times_are_causally_ordered() {
+        for e in short_scenario(2).run().iter().filter(|e| !e.lost) {
+            let t = &e.truth;
+            assert!(t.ta < t.tb && t.tb < t.te && t.te < t.tf, "ordering at {}", e.i);
+            // server stamps never precede the events
+            assert!(e.tb >= t.tb);
+            assert!(e.te >= t.te);
+            // TSC reads bracket the true interval: Ta read before departure,
+            // Tf read after arrival.
+            assert!(e.tf_tsc > e.ta_tsc);
+        }
+    }
+
+    #[test]
+    fn rtt_matches_table2_minimum() {
+        let ex = short_scenario(3).run();
+        let p = 1e-9; // nominal period of the 1 GHz counter
+        let min_rtt = ex
+            .iter()
+            .filter(|e| !e.lost)
+            .map(|e| (e.tf_tsc - e.ta_tsc) as f64 * p)
+            .fold(f64::INFINITY, f64::min);
+        let expect = ServerKind::Int.facts().rtt;
+        // minimum observed RTT should be within ~60 µs above the true
+        // minimum (host latencies add a few µs; skew adds ~50 PPM)
+        assert!(
+            min_rtt > expect && min_rtt < expect + 100e-6,
+            "min rtt {min_rtt} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn dag_reference_tracks_truth() {
+        for e in short_scenario(4).run().iter().filter(|e| !e.lost) {
+            assert!(
+                (e.tg - e.truth.tf).abs() < 1e-6,
+                "DAG ref must track truth to µs: {}",
+                e.tg - e.truth.tf
+            );
+        }
+    }
+
+    #[test]
+    fn loss_probability_is_respected() {
+        let sc = Scenario {
+            loss_prob: 0.1,
+            ..short_scenario(5)
+        }
+        .with_duration(16.0 * 20_000.0);
+        let ex = sc.run();
+        let lost = ex.iter().filter(|e| e.lost).count() as f64 / ex.len() as f64;
+        assert!((lost - 0.1).abs() < 0.02, "loss rate {lost}");
+    }
+
+    #[test]
+    fn outage_window_loses_everything_inside() {
+        let sc = short_scenario(6).with_outage(3600.0, 7200.0);
+        for e in sc.run() {
+            if e.poll_time >= 3600.0 && e.poll_time < 7200.0 {
+                assert!(e.lost, "packet inside outage must be lost");
+            }
+        }
+    }
+
+    #[test]
+    fn server_fault_offsets_stamps() {
+        let sc = short_scenario(7).with_server_fault(ServerFault {
+            start: 3600.0,
+            end: 3900.0,
+            offset: 0.150,
+        });
+        let ex = sc.run();
+        let in_fault: Vec<_> = ex
+            .iter()
+            .filter(|e| !e.lost && e.poll_time >= 3600.0 && e.poll_time < 3890.0)
+            .collect();
+        assert!(!in_fault.is_empty());
+        for e in in_fault {
+            assert!(
+                e.tb - e.truth.tb > 0.149,
+                "fault must offset Tb: {}",
+                e.tb - e.truth.tb
+            );
+        }
+    }
+
+    #[test]
+    fn level_shift_raises_min_rtt() {
+        let p = 1e-9;
+        let sc = short_scenario(8).with_shift(LevelShift::forward_only(7200.0, None, 0.9e-3));
+        let ex = sc.run();
+        let min_rtt = |lo: f64, hi: f64| {
+            ex.iter()
+                .filter(|e| !e.lost && e.poll_time >= lo && e.poll_time < hi)
+                .map(|e| (e.tf_tsc - e.ta_tsc) as f64 * p)
+                .fold(f64::INFINITY, f64::min)
+        };
+        let before = min_rtt(0.0, 7200.0);
+        let after = min_rtt(7200.0, 14_400.0);
+        assert!(
+            (after - before - 0.9e-3).abs() < 100e-6,
+            "shift not visible: before {before}, after {after}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = short_scenario(9).run();
+        let b = short_scenario(9).run();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = short_scenario(10).run();
+        let b = short_scenario(11).run();
+        assert!(a.iter().zip(&b).any(|(x, y)| x != y));
+    }
+
+    #[test]
+    fn host_error_truth_is_recorded() {
+        let ex = short_scenario(12).run();
+        let last = ex.iter().rev().find(|e| !e.lost).unwrap();
+        // machine-room skew 52.4 PPM over ~4 h ≈ 0.75 s of accumulated error
+        let expect = 52.4e-6 * last.truth.tf;
+        assert!(
+            (last.truth.host_err_at_tf - expect).abs() < 0.05 * expect,
+            "host error truth {} vs ~{expect}",
+            last.truth.host_err_at_tf
+        );
+    }
+}

@@ -1,0 +1,213 @@
+//! A minimal stratum-1 NTP/SNTP server over UDP.
+//!
+//! Serves mode-4 responses from a pluggable [`ServerClock`], which lets the
+//! examples run a *simulated* stratum-1 server (its clock driven by a
+//! `tsc-netsim` server model) on localhost, so the full client → network →
+//! server → client loop is exercised over real sockets without touching the
+//! public NTP pool.
+
+use crate::packet::{Mode, NtpPacket, PACKET_LEN};
+use crate::timestamp::NtpTimestamp;
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The time source a server stamps packets with.
+///
+/// `now_unix` returns the server's idea of Unix time in seconds. It is
+/// `&mut` because simulated clocks advance internal state when read.
+pub trait ServerClock: Send {
+    /// Current server time (Unix seconds).
+    fn now_unix(&mut self) -> f64;
+
+    /// Reference identifier to advertise (default: GPS, like the paper's
+    /// ServerLoc/ServerInt).
+    fn reference_id(&self) -> [u8; 4] {
+        *b"GPS\0"
+    }
+}
+
+/// A [`ServerClock`] backed by the operating-system clock.
+#[derive(Debug, Default)]
+pub struct SystemServerClock;
+
+impl ServerClock for SystemServerClock {
+    fn now_unix(&mut self) -> f64 {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(0.0)
+    }
+}
+
+/// Handle to a running server thread; dropping it (or calling
+/// [`NtpServerHandle::shutdown`]) stops the serve loop.
+pub struct NtpServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl NtpServerHandle {
+    /// Address the server is listening on (useful with port 0 binds).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals the serve loop to exit and waits for the thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for NtpServerHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Spawns a server thread bound to `addr` (use port 0 for an ephemeral
+/// port), answering every valid client request from `clock`.
+///
+/// The loop wakes every 50 ms to check the shutdown flag, so shutdown is
+/// prompt; per the single-packet-per-poll workload there is no need for
+/// anything fancier.
+pub fn spawn<A: ToSocketAddrs, C: ServerClock + 'static>(
+    addr: A,
+    mut clock: C,
+) -> io::Result<NtpServerHandle> {
+    let socket = UdpSocket::bind(addr)?;
+    socket.set_read_timeout(Some(Duration::from_millis(50)))?;
+    let local = socket.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let join = std::thread::Builder::new()
+        .name("ntp-server".into())
+        .spawn(move || {
+            let mut buf = [0u8; 512];
+            while !stop2.load(Ordering::SeqCst) {
+                let (len, from) = match socket.recv_from(&mut buf) {
+                    Ok(x) => x,
+                    Err(ref e)
+                        if e.kind() == io::ErrorKind::WouldBlock
+                            || e.kind() == io::ErrorKind::TimedOut =>
+                    {
+                        continue
+                    }
+                    Err(_) => break,
+                };
+                if len < PACKET_LEN {
+                    continue;
+                }
+                let request = match NtpPacket::decode(&buf[..len]) {
+                    Ok(p) => p,
+                    Err(_) => continue,
+                };
+                if request.mode != Mode::Client {
+                    continue;
+                }
+                let tb = NtpTimestamp::from_unix_seconds(clock.now_unix());
+                let te = NtpTimestamp::from_unix_seconds(clock.now_unix());
+                let resp = NtpPacket::server_response(&request, tb, te, clock.reference_id());
+                let _ = socket.send_to(&resp.encode(), from);
+            }
+        })?;
+    Ok(NtpServerHandle {
+        addr: local,
+        stop,
+        join: Some(join),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::SntpClient;
+
+    /// A fixed-rate fake clock for deterministic server tests.
+    struct FakeClock {
+        t: f64,
+    }
+    impl ServerClock for FakeClock {
+        fn now_unix(&mut self) -> f64 {
+            self.t += 1e-6; // 1 µs residence per reading
+            self.t
+        }
+        fn reference_id(&self) -> [u8; 4] {
+            *b"SIM\0"
+        }
+    }
+
+    #[test]
+    fn end_to_end_exchange_over_loopback() {
+        let server = spawn("127.0.0.1:0", FakeClock { t: 1_000_000.0 }).unwrap();
+        let mut client = SntpClient::connect(server.addr()).unwrap();
+        client.set_timeout(Duration::from_secs(2)).unwrap();
+
+        let mut host_t = 500.0;
+        let ft = client
+            .query(|| {
+                host_t += 0.0001;
+                host_t
+            })
+            .expect("exchange succeeds");
+        // Server timestamps near 1e6; host timestamps near 500; both ordered.
+        assert!(ft.tb > 999_999.0 && ft.te >= ft.tb);
+        assert!(ft.tf > ft.ta);
+        server.shutdown();
+    }
+
+    #[test]
+    fn server_ignores_garbage_and_non_client_modes() {
+        let server = spawn("127.0.0.1:0", FakeClock { t: 1.0e6 }).unwrap();
+        let sock = UdpSocket::bind("127.0.0.1:0").unwrap();
+        sock.set_read_timeout(Some(Duration::from_millis(100)))
+            .unwrap();
+        // garbage datagram → no reply
+        sock.send_to(&[1, 2, 3], server.addr()).unwrap();
+        let mut buf = [0u8; 64];
+        assert!(sock.recv_from(&mut buf).is_err());
+        // server-mode packet → no reply
+        let mut p = NtpPacket::client_request(NtpTimestamp::from_unix_seconds(5.0), 4);
+        p.mode = Mode::Server;
+        sock.send_to(&p.encode(), server.addr()).unwrap();
+        assert!(sock.recv_from(&mut buf).is_err());
+        server.shutdown();
+    }
+
+    #[test]
+    fn multiple_sequential_queries() {
+        let server = spawn("127.0.0.1:0", FakeClock { t: 2.0e6 }).unwrap();
+        let mut client = SntpClient::connect(server.addr()).unwrap();
+        let mut t = 0.0;
+        let mut last_tb = 0.0;
+        for _ in 0..5 {
+            let ft = client
+                .query(|| {
+                    t += 0.001;
+                    t
+                })
+                .unwrap();
+            assert!(ft.tb > last_tb, "server time must advance");
+            last_tb = ft.tb;
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_prompt() {
+        let server = spawn("127.0.0.1:0", FakeClock { t: 0.0 }).unwrap();
+        let t0 = std::time::Instant::now();
+        server.shutdown();
+        assert!(t0.elapsed() < Duration::from_secs(1));
+    }
+}

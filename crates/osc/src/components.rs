@@ -1,0 +1,339 @@
+//! Composable fractional-frequency noise components.
+//!
+//! Each component contributes to the oscillator's instantaneous fractional
+//! frequency error `y(t)` (equation (4) of the paper interprets `y_τ(t)` as
+//! the rate error at scale τ; here we model the underlying continuous-time
+//! process). The [`crate::Oscillator`] integrates the sum of components into
+//! the accumulated time error `x(t) = ∫ y(s) ds`.
+
+use rand::RngExt;
+use rand_chacha::ChaCha12Rng;
+
+/// A source of fractional frequency error.
+///
+/// `step` must return the *mean* fractional frequency error over the
+/// interval `[t, t + dt)`. Components may hold state (e.g. a random walk)
+/// which is advanced by the call; `dt` is guaranteed positive and bounded by
+/// the oscillator's maximum integration step.
+pub trait FrequencyComponent: Send {
+    /// Mean fractional frequency error over `[t, t + dt)`.
+    fn step(&mut self, t: f64, dt: f64, rng: &mut ChaCha12Rng) -> f64;
+
+    /// A short human-readable tag for diagnostics.
+    fn name(&self) -> &'static str;
+}
+
+/// Constant skew `γ`: the deterministic linear part of the SKM
+/// (equation (2)). Typical CPU oscillators sit ~50 PPM from nominal (§2.1).
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantSkew {
+    /// Fractional frequency offset (dimensionless; 50e-6 = 50 PPM).
+    pub gamma: f64,
+}
+
+impl ConstantSkew {
+    /// Creates a constant-skew component of `ppm` parts per million.
+    pub fn from_ppm(ppm: f64) -> Self {
+        Self { gamma: ppm * 1e-6 }
+    }
+}
+
+impl FrequencyComponent for ConstantSkew {
+    fn step(&mut self, _t: f64, _dt: f64, _rng: &mut ChaCha12Rng) -> f64 {
+        self.gamma
+    }
+    fn name(&self) -> &'static str {
+        "constant-skew"
+    }
+}
+
+/// Linear frequency aging: `y(t) = rate · t`.
+///
+/// §4.1 notes "ultimately, the CPU oscillator is also subject to aging" as
+/// one reason the rate estimate must eventually forget the past. Quartz
+/// aging is tiny (≲1e-13/s) but nonzero; modelling it lets the windowing
+/// logic be exercised against a drifting truth.
+#[derive(Debug, Clone, Copy)]
+pub struct Aging {
+    /// Fractional frequency change per second.
+    pub rate: f64,
+}
+
+impl FrequencyComponent for Aging {
+    fn step(&mut self, t: f64, dt: f64, _rng: &mut ChaCha12Rng) -> f64 {
+        // Mean of rate·s over [t, t+dt).
+        self.rate * (t + 0.5 * dt)
+    }
+    fn name(&self) -> &'static str {
+        "aging"
+    }
+}
+
+/// Sinusoidal frequency modulation — the periodic "temperature" terms of
+/// §3.1: the low-amplitude (≈0.05 PPM) machine-room oscillation with a
+/// 100–200-minute period, and the diurnal cycle in the laboratory traces.
+///
+/// The period can wander slowly between `period_min` and `period_max`
+/// (the paper observed "variable period between 100 to 200 minutes");
+/// when the two are equal the component is strictly periodic.
+#[derive(Debug, Clone)]
+pub struct Sinusoid {
+    /// Peak fractional-frequency amplitude (5e-8 = 0.05 PPM).
+    pub amplitude: f64,
+    /// Minimum modulation period in seconds.
+    pub period_min: f64,
+    /// Maximum modulation period in seconds.
+    pub period_max: f64,
+    /// Initial phase in radians.
+    pub phase: f64,
+    current_period: f64,
+}
+
+impl Sinusoid {
+    /// Strictly periodic sinusoidal FM.
+    pub fn fixed(amplitude: f64, period: f64, phase: f64) -> Self {
+        assert!(period > 0.0, "sinusoid period must be positive");
+        Self {
+            amplitude,
+            period_min: period,
+            period_max: period,
+            phase,
+            current_period: period,
+        }
+    }
+
+    /// Sinusoid whose period wanders within `[period_min, period_max]`.
+    pub fn wandering(amplitude: f64, period_min: f64, period_max: f64, phase: f64) -> Self {
+        assert!(
+            period_min > 0.0 && period_max >= period_min,
+            "invalid sinusoid period range"
+        );
+        Self {
+            amplitude,
+            period_min,
+            period_max,
+            phase,
+            current_period: 0.5 * (period_min + period_max),
+        }
+    }
+}
+
+impl FrequencyComponent for Sinusoid {
+    fn step(&mut self, _t: f64, dt: f64, rng: &mut ChaCha12Rng) -> f64 {
+        // Advance phase by the current instantaneous period; wander the
+        // period with a small reflected random walk when a range is given.
+        if self.period_max > self.period_min {
+            let span = self.period_max - self.period_min;
+            // ~1% of the span per hour of simulated time.
+            let sigma = span * 0.01 * (dt / 3600.0).sqrt();
+            let delta = (rng.random::<f64>() - 0.5) * 2.0 * sigma * 3.0f64.sqrt();
+            self.current_period += delta;
+            if self.current_period > self.period_max {
+                self.current_period = 2.0 * self.period_max - self.current_period;
+            }
+            if self.current_period < self.period_min {
+                self.current_period = 2.0 * self.period_min - self.current_period;
+            }
+            self.current_period = self.current_period.clamp(self.period_min, self.period_max);
+        }
+        let w = std::f64::consts::TAU / self.current_period;
+        let p0 = self.phase;
+        self.phase = (self.phase + w * dt) % std::f64::consts::TAU;
+        // Mean of A·sin over the step (exact integral to keep phase smooth).
+        if w * dt < 1e-9 {
+            self.amplitude * p0.sin()
+        } else {
+            self.amplitude * (p0.cos() - (p0 + w * dt).cos()) / (w * dt)
+        }
+    }
+    fn name(&self) -> &'static str {
+        "sinusoid"
+    }
+}
+
+/// Bounded random-walk frequency modulation: the slow, environment-driven
+/// wander of the oscillator rate. The reflecting bound enforces the paper's
+/// fundamental characterization that "the rate error remains bounded by
+/// 0.1 PPM ... over all time scales" (§3.1).
+#[derive(Debug, Clone)]
+pub struct FrequencyRandomWalk {
+    /// Diffusion strength: Var[y(t+dt) − y(t)] = sigma²·dt.
+    pub sigma: f64,
+    /// Reflecting bound on |y|.
+    pub bound: f64,
+    y: f64,
+}
+
+impl FrequencyRandomWalk {
+    /// New random walk starting at `y = 0`.
+    pub fn new(sigma: f64, bound: f64) -> Self {
+        assert!(sigma >= 0.0 && bound > 0.0, "invalid random walk params");
+        Self { sigma, bound, y: 0.0 }
+    }
+
+    /// Current frequency deviation.
+    pub fn current(&self) -> f64 {
+        self.y
+    }
+}
+
+impl FrequencyComponent for FrequencyRandomWalk {
+    fn step(&mut self, _t: f64, dt: f64, rng: &mut ChaCha12Rng) -> f64 {
+        let y0 = self.y;
+        // Gaussian increment via Box-Muller on the deterministic stream.
+        let u1: f64 = rng.random::<f64>().max(1e-300);
+        let u2: f64 = rng.random::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.y += z * self.sigma * dt.sqrt();
+        // Reflect at the bounds.
+        if self.y > self.bound {
+            self.y = 2.0 * self.bound - self.y;
+        }
+        if self.y < -self.bound {
+            self.y = -2.0 * self.bound - self.y;
+        }
+        self.y = self.y.clamp(-self.bound, self.bound);
+        0.5 * (y0 + self.y)
+    }
+    fn name(&self) -> &'static str {
+        "freq-random-walk"
+    }
+}
+
+/// White frequency modulation: independent Gaussian rate error each step.
+/// Contributes ADEV(τ) ∝ τ^{-1/2}; kept small, it fills in the transition
+/// region of the Allan plot between the white-phase-noise slope and the
+/// large-scale drift floor.
+#[derive(Debug, Clone, Copy)]
+pub struct WhiteFm {
+    /// ADEV contribution at τ = 1 s (σ_y(1s)).
+    pub sigma_at_1s: f64,
+}
+
+impl FrequencyComponent for WhiteFm {
+    fn step(&mut self, _t: f64, dt: f64, rng: &mut ChaCha12Rng) -> f64 {
+        let u1: f64 = rng.random::<f64>().max(1e-300);
+        let u2: f64 = rng.random::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        // Mean over dt of white FM scales as 1/sqrt(dt).
+        z * self.sigma_at_1s / dt.sqrt()
+    }
+    fn name(&self) -> &'static str {
+        "white-fm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> ChaCha12Rng {
+        ChaCha12Rng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn constant_skew_is_constant() {
+        let mut c = ConstantSkew::from_ppm(50.0);
+        let mut r = rng();
+        let y0 = c.step(0.0, 1.0, &mut r);
+        let y1 = c.step(100.0, 16.0, &mut r);
+        assert!((y0 - 50e-6).abs() < 1e-18);
+        assert!((y1 - 50e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn aging_grows_linearly() {
+        let mut a = Aging { rate: 1e-13 };
+        let mut r = rng();
+        let y0 = a.step(0.0, 2.0, &mut r);
+        let y1 = a.step(1000.0, 2.0, &mut r);
+        assert!((y0 - 1e-13).abs() < 1e-25);
+        assert!((y1 - 1e-13 * 1001.0).abs() < 1e-22);
+    }
+
+    #[test]
+    fn fixed_sinusoid_integrates_to_zero_over_full_period() {
+        let period = 9000.0;
+        let mut s = Sinusoid::fixed(5e-8, period, 0.0);
+        let mut r = rng();
+        let steps = 900;
+        let dt = period / steps as f64;
+        let mut phase_err = 0.0;
+        for i in 0..steps {
+            phase_err += s.step(i as f64 * dt, dt, &mut r) * dt;
+        }
+        // ∫A·sin over a full period is 0.
+        assert!(
+            phase_err.abs() < 1e-12,
+            "full-period integral should vanish, got {phase_err}"
+        );
+    }
+
+    #[test]
+    fn sinusoid_mean_value_matches_analytic() {
+        let mut s = Sinusoid::fixed(1.0, std::f64::consts::TAU, 0.0); // ω = 1
+        let mut r = rng();
+        let y = s.step(0.0, 1.0, &mut r);
+        // mean of sin over [0,1] = 1 − cos(1)
+        let expect = 1.0 - 1.0f64.cos();
+        assert!((y - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wandering_period_stays_in_range() {
+        let mut s = Sinusoid::wandering(5e-8, 6000.0, 12000.0, 0.0);
+        let mut r = rng();
+        for i in 0..10_000 {
+            s.step(i as f64 * 16.0, 16.0, &mut r);
+            assert!(
+                s.current_period >= 6000.0 && s.current_period <= 12000.0,
+                "period escaped range: {}",
+                s.current_period
+            );
+        }
+    }
+
+    #[test]
+    fn random_walk_respects_bound() {
+        let mut w = FrequencyRandomWalk::new(1e-9, 1e-7);
+        let mut r = rng();
+        for i in 0..100_000 {
+            let y = w.step(i as f64, 16.0, &mut r);
+            assert!(y.abs() <= 1e-7 + 1e-15, "rw exceeded bound: {y}");
+        }
+    }
+
+    #[test]
+    fn random_walk_actually_moves() {
+        let mut w = FrequencyRandomWalk::new(1e-10, 1e-7);
+        let mut r = rng();
+        let mut seen_nonzero = false;
+        for i in 0..100 {
+            if w.step(i as f64, 16.0, &mut r).abs() > 1e-12 {
+                seen_nonzero = true;
+            }
+        }
+        assert!(seen_nonzero, "random walk never moved");
+    }
+
+    #[test]
+    fn random_walk_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut w = FrequencyRandomWalk::new(1e-10, 1e-7);
+            let mut r = ChaCha12Rng::seed_from_u64(seed);
+            (0..50).map(|i| w.step(i as f64, 1.0, &mut r)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn white_fm_has_zero_mean() {
+        let mut w = WhiteFm { sigma_at_1s: 1e-8 };
+        let mut r = rng();
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|i| w.step(i as f64, 1.0, &mut r)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 1e-9, "white FM mean too large: {mean}");
+    }
+}

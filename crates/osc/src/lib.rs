@@ -1,0 +1,31 @@
+//! Oscillator and TSC-counter simulation for the IMC'04 reproduction.
+//!
+//! The paper's synchronization algorithms rest on a *hardware abstraction*
+//! established in §3.1: the CPU oscillator obeys the Simple Skew Model (SKM)
+//! up to a critical scale `τ* ≈ 1000 s`, and beyond it the rate error stays
+//! bounded by `0.1 PPM` (Figure 3). This crate builds oscillators with
+//! exactly that statistical signature so that the algorithms can be
+//! exercised and characterized without the original 600 MHz lab machine.
+//!
+//! An oscillator is a composition of [`components`]: a constant skew
+//! (typically ~50 PPM, §2.1), a bounded frequency random walk (slow drift),
+//! periodic "temperature" terms (the 100–200-minute machine-room oscillation
+//! and the diurnal cycle observed in §3.1), and linear aging. Integrating the
+//! instantaneous fractional frequency `y(t)` yields the oscillator's time
+//! error `x(t)`, and the [`tsc::TscCounter`] turns that into the 64-bit cycle
+//! counts the host timestamps with.
+//!
+//! All randomness is driven by a caller-supplied seed through `ChaCha12`,
+//! so traces are bit-for-bit reproducible.
+
+pub mod components;
+pub mod environment;
+pub mod oscillator;
+pub mod tsc;
+
+pub use components::{
+    Aging, ConstantSkew, FrequencyComponent, FrequencyRandomWalk, Sinusoid, WhiteFm,
+};
+pub use environment::{Environment, OscillatorSpec};
+pub use oscillator::Oscillator;
+pub use tsc::TscCounter;

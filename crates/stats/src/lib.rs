@@ -1,0 +1,34 @@
+//! Statistics toolkit for the IMC'04 software-clock reproduction.
+//!
+//! This crate provides the analysis machinery the paper relies on:
+//!
+//! * [`allan`] — Allan variance / Allan deviation, the oscillator-stability
+//!   characterization of §3.1 (Figure 3) which the paper calls "the
+//!   fundamental hardware characterization on which the synchronization is
+//!   based".
+//! * [`quantile`] — percentile/median/IQR summaries used throughout the
+//!   evaluation (Figures 9, 10, 12).
+//! * [`histogram`] — fixed-bin histograms (Figure 12).
+//! * [`window`] — running and sliding-window minima; the RTT minimum
+//!   estimators `rˆ(t)` and `rˆl(t)` of §5.1/§6.2 are built on these.
+//! * [`regression`] — ordinary least squares and Theil–Sen slope estimation
+//!   for detrending and for reference rate computation.
+//! * [`summary`] — streaming mean/variance/extrema.
+//!
+//! Everything here is deterministic, allocation-conscious and free of any
+//! dependency on the rest of the workspace, so it can be reused as a small
+//! standalone analysis library.
+
+pub mod allan;
+pub mod histogram;
+pub mod quantile;
+pub mod regression;
+pub mod summary;
+pub mod window;
+
+pub use allan::{allan_deviation, allan_variance, AllanPoint};
+pub use histogram::Histogram;
+pub use quantile::{iqr, median, percentile, Percentiles};
+pub use regression::{ols_fit, theil_sen, LinearFit};
+pub use summary::RunningStats;
+pub use window::{RunningMin, SlidingMin};

@@ -1,0 +1,173 @@
+//! Percentile and quantile summaries.
+//!
+//! The paper reports its offset-error results as percentile families
+//! (1%, 25%, 50%, 75%, 99% — Figures 9 and 10) and as median / inter-quartile
+//! range pairs (Figure 12). These helpers compute those exact summaries.
+
+/// Returns the `p`-th percentile (`0.0 ..= 100.0`) of `data` using linear
+/// interpolation between closest ranks (the "C = 1" / inclusive convention,
+/// matching NumPy's default).
+///
+/// Non-finite entries are filtered out. Returns `None` for an empty input.
+///
+/// ```
+/// use tsc_stats::percentile;
+/// let v = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(percentile(&v, 50.0), Some(2.5));
+/// assert_eq!(percentile(&v, 0.0), Some(1.0));
+/// assert_eq!(percentile(&v, 100.0), Some(4.0));
+/// ```
+pub fn percentile(data: &[f64], p: f64) -> Option<f64> {
+    let mut v: Vec<f64> = data.iter().copied().filter(|x| x.is_finite()).collect();
+    if v.is_empty() {
+        return None;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values are comparable"));
+    Some(percentile_of_sorted(&v, p))
+}
+
+/// Percentile of an already-sorted slice of finite values (panics if empty).
+/// Useful when many percentiles are taken from the same data: sort once.
+pub fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    let p = p.clamp(0.0, 100.0);
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median (50th percentile); `None` on empty input.
+pub fn median(data: &[f64]) -> Option<f64> {
+    percentile(data, 50.0)
+}
+
+/// Inter-quartile range (75th − 25th percentile); `None` on empty input.
+pub fn iqr(data: &[f64]) -> Option<f64> {
+    let mut v: Vec<f64> = data.iter().copied().filter(|x| x.is_finite()).collect();
+    if v.is_empty() {
+        return None;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values are comparable"));
+    Some(percentile_of_sorted(&v, 75.0) - percentile_of_sorted(&v, 25.0))
+}
+
+/// The five-percentile family the paper plots: 1%, 25%, 50%, 75%, 99%.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Percentiles {
+    /// 1st percentile (bottom curve in Figures 9/10).
+    pub p01: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub p50: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 99th percentile (top curve).
+    pub p99: f64,
+}
+
+impl Percentiles {
+    /// Computes all five percentiles from `data` in one sort.
+    /// Returns `None` for empty (or all-NaN) input.
+    pub fn from_data(data: &[f64]) -> Option<Self> {
+        let mut v: Vec<f64> = data.iter().copied().filter(|x| x.is_finite()).collect();
+        if v.is_empty() {
+            return None;
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite values are comparable"));
+        Some(Self {
+            p01: percentile_of_sorted(&v, 1.0),
+            p25: percentile_of_sorted(&v, 25.0),
+            p50: percentile_of_sorted(&v, 50.0),
+            p75: percentile_of_sorted(&v, 75.0),
+            p99: percentile_of_sorted(&v, 99.0),
+        })
+    }
+
+    /// Inter-quartile range of this family.
+    pub fn iqr(&self) -> f64 {
+        self.p75 - self.p25
+    }
+
+    /// 1–99% spread ("essentially the whole distribution" in the paper's
+    /// Figure 12 phrasing, which shows exactly 99% of values).
+    pub fn spread_98(&self) -> f64 {
+        self.p99 - self.p01
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_returns_none() {
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(median(&[]), None);
+        assert_eq!(iqr(&[]), None);
+        assert!(Percentiles::from_data(&[]).is_none());
+    }
+
+    #[test]
+    fn all_nan_returns_none() {
+        assert_eq!(median(&[f64::NAN, f64::NAN]), None);
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(percentile(&[42.0], 1.0), Some(42.0));
+        assert_eq!(percentile(&[42.0], 99.0), Some(42.0));
+        assert_eq!(iqr(&[42.0]), Some(0.0));
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), Some(2.5));
+    }
+
+    #[test]
+    fn interpolation() {
+        let v = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(percentile(&v, 25.0), Some(20.0));
+        assert_eq!(percentile(&v, 10.0), Some(14.0));
+        assert_eq!(percentile(&v, 90.0), Some(46.0));
+    }
+
+    #[test]
+    fn out_of_range_p_is_clamped() {
+        let v = [1.0, 2.0];
+        assert_eq!(percentile(&v, -5.0), Some(1.0));
+        assert_eq!(percentile(&v, 500.0), Some(2.0));
+    }
+
+    #[test]
+    fn percentiles_family_ordering() {
+        let v: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.7919).sin()).collect();
+        let p = Percentiles::from_data(&v).unwrap();
+        assert!(p.p01 <= p.p25 && p.p25 <= p.p50 && p.p50 <= p.p75 && p.p75 <= p.p99);
+        assert!(p.iqr() >= 0.0);
+        assert!(p.spread_98() >= p.iqr());
+    }
+
+    #[test]
+    fn iqr_of_uniform_grid() {
+        let v: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        assert_eq!(iqr(&v), Some(50.0));
+    }
+
+    #[test]
+    fn nan_entries_are_filtered() {
+        let v = [1.0, f64::NAN, 3.0];
+        assert_eq!(median(&v), Some(2.0));
+    }
+}

@@ -1,0 +1,95 @@
+//! Robustness tour: one trace containing every §6 anomaly — packet loss, a
+//! multi-hour outage, a gross server-clock fault, and both kinds of route
+//! change — with the clock's events and errors reported around each.
+//!
+//! ```sh
+//! cargo run --release --example robustness_demo
+//! ```
+
+use tscclock_repro::clock::{ClockConfig, ClockEvent, RawExchange, TscNtpClock};
+use tscclock_repro::netsim::{LevelShift, Scenario, ServerFault};
+
+const DAY: f64 = 86_400.0;
+
+fn main() {
+    let scenario = Scenario::baseline(66)
+        .with_poll_period(64.0)
+        .with_duration(8.0 * DAY)
+        // day 2: 4-hour server outage
+        .with_outage(2.0 * DAY, 2.0 * DAY + 4.0 * 3600.0)
+        // day 4: the server's clock jumps 150 ms for five minutes
+        .with_server_fault(ServerFault {
+            start: 4.0 * DAY,
+            end: 4.0 * DAY + 300.0,
+            offset: 0.150,
+        })
+        // day 5: a route change adds 0.9 ms to the forward path, permanently
+        .with_shift(LevelShift::forward_only(5.0 * DAY, None, 0.9e-3))
+        // day 7: a symmetric route improvement of 0.36 ms
+        .with_shift(LevelShift::symmetric(7.0 * DAY, -0.36e-3));
+
+    let mut cfg = ClockConfig::paper_defaults(64.0);
+    cfg.tau_prime = 2.0 * cfg.tau_star; // the paper's robustness setting
+    let mut clock = TscNtpClock::new(cfg);
+
+    println!("8 simulated days with outage, server fault, and route changes\n");
+    let mut day_errors: Vec<Vec<f64>> = vec![Vec::new(); 8];
+    for e in scenario.build() {
+        if e.lost {
+            continue;
+        }
+        let raw = RawExchange {
+            ta_tsc: e.ta_tsc,
+            tb: e.tb,
+            te: e.te,
+            tf_tsc: e.tf_tsc,
+        };
+        let Some(out) = clock.process(raw) else {
+            continue;
+        };
+        for ev in &out.events {
+            match ev {
+                ClockEvent::OffsetSanity | ClockEvent::UpwardShift | ClockEvent::RateSanity => {
+                    println!(
+                        "t = {:7.2} d  event: {ev:?}",
+                        e.poll_time / DAY
+                    );
+                }
+                _ => {}
+            }
+        }
+        if let Some(ca) = clock.absolute_time(e.tf_tsc) {
+            let day = (e.poll_time / DAY) as usize;
+            if day < day_errors.len() && e.poll_time > 0.25 * DAY {
+                day_errors[day].push((ca - e.tg).abs());
+            }
+        }
+    }
+
+    println!("\n--- daily median |clock error| ---");
+    let annotations = [
+        "(warm-up)",
+        "",
+        "(4 h outage)",
+        "",
+        "(150 ms server fault)",
+        "(+0.9 ms forward route change)",
+        "",
+        "(-0.36 ms symmetric route change)",
+    ];
+    for (day, errs) in day_errors.iter().enumerate() {
+        if errs.is_empty() {
+            continue;
+        }
+        let mut v = errs.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        println!(
+            "day {day}: {:7.1} µs  {}",
+            v[v.len() / 2] * 1e6,
+            annotations[day]
+        );
+    }
+    println!("\nEvery anomaly is either absorbed silently (outage, downward");
+    println!("shift), bounded by a sanity check (server fault), or detected and");
+    println!("re-based (upward shift). No anomaly costs more than ~1 ms, ever.");
+}

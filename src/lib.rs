@@ -1,0 +1,10 @@
+//! Umbrella crate for the IMC'04 robust software clock reproduction.
+//! Re-exports the workspace crates for convenient use in examples and tests.
+pub use tsc_netsim as netsim;
+pub use tsc_ntp as ntp;
+pub use tsc_osc as osc;
+pub use tsc_refmon as refmon;
+pub use tsc_stats as stats;
+pub use tsc_swclock as swclock;
+pub use tscclock as clock;
+pub use tsc_experiments as experiments;

@@ -1,0 +1,192 @@
+//! Property-based tests on the core data structures and invariants.
+
+use proptest::prelude::*;
+use tscclock_repro::clock::{ClockConfig, RawExchange, TscNtpClock};
+use tscclock_repro::ntp::{LeapIndicator, Mode, NtpPacket, NtpShort, NtpTimestamp};
+use tscclock_repro::stats::{
+    allan_variance, percentile, Histogram, RunningStats, SlidingMin,
+};
+
+proptest! {
+    /// The NTP packet codec roundtrips every representable header.
+    #[test]
+    fn packet_codec_roundtrip(
+        leap_bits in 0u8..4,
+        version in 1u8..5,
+        mode_bits in 0u8..8,
+        stratum in 0u8..=255,
+        poll in -10i8..20,
+        precision in -30i8..5,
+        root_delay in any::<u32>(),
+        root_dispersion in any::<u32>(),
+        refid in any::<[u8; 4]>(),
+        ts in any::<[u64; 4]>(),
+    ) {
+        let p = NtpPacket {
+            leap: match leap_bits { 0 => LeapIndicator::NoWarning, 1 => LeapIndicator::LastMinute61, 2 => LeapIndicator::LastMinute59, _ => LeapIndicator::Unsynchronized },
+            version,
+            mode: match mode_bits { 0 => Mode::Reserved, 1 => Mode::SymmetricActive, 2 => Mode::SymmetricPassive, 3 => Mode::Client, 4 => Mode::Server, 5 => Mode::Broadcast, 6 => Mode::Control, _ => Mode::Private },
+            stratum,
+            poll,
+            precision,
+            root_delay: NtpShort(root_delay),
+            root_dispersion: NtpShort(root_dispersion),
+            reference_id: refid,
+            reference_ts: NtpTimestamp::from_bits(ts[0]),
+            origin_ts: NtpTimestamp::from_bits(ts[1]),
+            receive_ts: NtpTimestamp::from_bits(ts[2]),
+            transmit_ts: NtpTimestamp::from_bits(ts[3]),
+        };
+        let decoded = NtpPacket::decode(&p.encode()).unwrap();
+        prop_assert_eq!(p, decoded);
+    }
+
+    /// Timestamp conversion roundtrips to sub-2ns over the whole era.
+    #[test]
+    fn ntp_timestamp_roundtrip(s in 1.0f64..4.0e9) {
+        let ts = NtpTimestamp::from_ntp_seconds(s);
+        prop_assert!((ts.to_ntp_seconds() - s).abs() < 2e-9);
+    }
+
+    /// Signed timestamp differences respect magnitude and antisymmetry for
+    /// spans within half an era.
+    #[test]
+    fn ntp_timestamp_diff_antisymmetric(a in 0.0f64..1e9, d in -1e8f64..1e8) {
+        let ta = NtpTimestamp::from_ntp_seconds(1e9 + a);
+        let tb = NtpTimestamp::from_ntp_seconds(1e9 + a + d);
+        let fwd = tb.diff_seconds(ta);
+        let back = ta.diff_seconds(tb);
+        // tolerance: the f64 inputs near 1e9 s carry ~1.2e-7 s of ULP noise
+        prop_assert!((fwd - d).abs() < 5e-7);
+        prop_assert!((fwd + back).abs() < 5e-7);
+    }
+
+    /// SlidingMin always equals the brute-force window minimum.
+    #[test]
+    fn sliding_min_matches_naive(
+        cap in 1usize..50,
+        xs in prop::collection::vec(-1e6f64..1e6, 1..300),
+    ) {
+        let mut w = SlidingMin::new(cap);
+        for (i, &x) in xs.iter().enumerate() {
+            w.push(x);
+            let lo = i.saturating_sub(cap - 1);
+            let naive = xs[lo..=i].iter().copied().fold(f64::INFINITY, f64::min);
+            prop_assert_eq!(w.get(), Some(naive));
+        }
+    }
+
+    /// Percentiles are monotone in p and bounded by the extremes.
+    #[test]
+    fn percentile_monotone_and_bounded(
+        xs in prop::collection::vec(-1e9f64..1e9, 1..200),
+        p1 in 0.0f64..100.0,
+        p2 in 0.0f64..100.0,
+    ) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let a = percentile(&xs, lo).unwrap();
+        let b = percentile(&xs, hi).unwrap();
+        prop_assert!(a <= b);
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(a >= min && b <= max);
+    }
+
+    /// Allan variance is non-negative and invariant under adding any linear
+    /// phase ramp (constant skew is invisible to stability analysis).
+    #[test]
+    fn allan_invariant_to_linear_ramp(
+        xs in prop::collection::vec(-1e-3f64..1e-3, 10..200),
+        slope in -1e-3f64..1e-3,
+        m in 1usize..5,
+    ) {
+        prop_assume!(xs.len() >= 2 * m + 1);
+        let base = allan_variance(&xs, 1.0, m).unwrap();
+        prop_assert!(base >= 0.0);
+        let ramped: Vec<f64> = xs.iter().enumerate().map(|(i, &x)| x + slope * i as f64).collect();
+        let with_ramp = allan_variance(&ramped, 1.0, m).unwrap();
+        prop_assert!((base - with_ramp).abs() <= 1e-12 + base * 1e-6);
+    }
+
+    /// Histogram conserves counts: total = in-range + under + over.
+    #[test]
+    fn histogram_conserves_mass(
+        xs in prop::collection::vec(-10.0f64..10.0, 0..300),
+        nbins in 1usize..40,
+    ) {
+        let mut h = Histogram::new(-5.0, 5.0, nbins);
+        for &x in &xs {
+            h.add(x);
+        }
+        let in_range: u64 = h.counts().iter().sum();
+        prop_assert_eq!(h.total(), in_range + h.underflow() + h.overflow());
+        prop_assert_eq!(h.total(), xs.len() as u64);
+    }
+
+    /// RunningStats min ≤ mean ≤ max, and merge equals sequential.
+    #[test]
+    fn running_stats_invariants(
+        xs in prop::collection::vec(-1e6f64..1e6, 1..200),
+        split in 0usize..200,
+    ) {
+        let split = split.min(xs.len());
+        let all: RunningStats = xs.iter().copied().collect();
+        prop_assert!(all.min() <= all.mean() + 1e-9);
+        prop_assert!(all.mean() <= all.max() + 1e-9);
+        let mut a: RunningStats = xs[..split].iter().copied().collect();
+        let b: RunningStats = xs[split..].iter().copied().collect();
+        a.merge(&b);
+        prop_assert_eq!(a.count(), all.count());
+        prop_assert!((a.mean() - all.mean()).abs() < 1e-6);
+    }
+
+    /// RTT in counts survives arbitrary counter values including wraps.
+    #[test]
+    fn rtt_counts_wrapping(ta in any::<u64>(), delta in 1u64..1_000_000_000) {
+        let e = RawExchange {
+            ta_tsc: ta,
+            tb: 0.0,
+            te: 0.0,
+            tf_tsc: ta.wrapping_add(delta),
+        };
+        prop_assert_eq!(e.rtt_counts(), delta);
+    }
+
+    /// Feeding the clock arbitrary well-formed exchange streams never
+    /// panics and keeps every estimate finite.
+    #[test]
+    fn clock_never_panics_on_plausible_streams(
+        seed_delays in prop::collection::vec((0.0f64..20e-3, 0.0f64..20e-3, 0.0f64..5e-3), 10..120),
+    ) {
+        let p_true = 1.0000524e-9;
+        let mut clock = TscNtpClock::new(ClockConfig::paper_defaults(16.0));
+        for (k, &(qf, qb, serr)) in seed_delays.iter().enumerate() {
+            let t = (k + 1) as f64 * 16.0;
+            let d = 450e-6;
+            let e = RawExchange {
+                ta_tsc: (t / p_true) as u64,
+                tb: t + d + qf + serr,
+                te: t + d + qf + serr + 20e-6,
+                tf_tsc: ((t + 2.0 * d + 20e-6 + qf + qb) / p_true) as u64,
+            };
+            if let Some(out) = clock.process(e) {
+                prop_assert!(out.p_hat.is_finite() && out.p_hat > 0.0);
+                prop_assert!(out.theta_hat.is_finite());
+                prop_assert!(out.rtt.is_finite() && out.rtt > 0.0);
+            }
+        }
+        let s = clock.status();
+        if let Some(p) = s.p_hat {
+            // even adversarial queueing cannot push the rate estimate far:
+            // the physically-true period is ~1e-9
+            prop_assert!(p > 0.5e-9 && p < 2e-9, "rate estimate diverged: {}", p);
+        }
+    }
+
+    /// The NtpShort 16.16 format roundtrips within one LSB.
+    #[test]
+    fn ntp_short_roundtrip(s in 0.0f64..65_000.0) {
+        let v = NtpShort::from_seconds(s);
+        prop_assert!((v.to_seconds() - s).abs() <= 1.0 / 65_536.0);
+    }
+}
