@@ -6,7 +6,8 @@ use tsc_experiments::{run_by_id, ExpOptions};
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig6");
     g.sample_size(10);
-    for id in ["fig6"] {
+    let id = "fig6";
+    {
         g.bench_function(id, |b| {
             b.iter(|| {
                 let r = run_by_id(id, ExpOptions { seed: 42, full: false })

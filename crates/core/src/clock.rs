@@ -29,6 +29,7 @@ use serde::{Deserialize, Serialize};
 
 /// Everything notable that happened while processing one packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
 pub enum ClockEvent {
     /// Packet discarded before processing (failed causality checks).
     DiscardedMalformed,
@@ -52,8 +53,78 @@ pub enum ClockEvent {
     WindowSlid,
 }
 
+impl ClockEvent {
+    /// Every event, in declaration (= bit) order.
+    pub const ALL: [ClockEvent; 10] = [
+        ClockEvent::DiscardedMalformed,
+        ClockEvent::RateUpdated,
+        ClockEvent::RateSanity,
+        ClockEvent::LocalRateUpdated,
+        ClockEvent::LocalRateSanity,
+        ClockEvent::OffsetSanity,
+        ClockEvent::OffsetFallback,
+        ClockEvent::UpwardShift,
+        ClockEvent::NewRttMinimum,
+        ClockEvent::WindowSlid,
+    ];
+
+    #[inline]
+    const fn bit(self) -> u16 {
+        1 << (self as u16)
+    }
+}
+
+/// A set of [`ClockEvent`]s as a copyable bitflag word — the per-packet
+/// event list without a heap allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EventSet(u16);
+
+impl EventSet {
+    /// The empty set.
+    pub const fn empty() -> Self {
+        EventSet(0)
+    }
+
+    /// Adds an event to the set.
+    #[inline]
+    pub fn insert(&mut self, e: ClockEvent) {
+        self.0 |= e.bit();
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(self, e: ClockEvent) -> bool {
+        self.0 & e.bit() != 0
+    }
+
+    /// `true` when no events were raised.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of events in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Iterates the contained events in declaration order.
+    pub fn iter(self) -> impl Iterator<Item = ClockEvent> {
+        ClockEvent::ALL.into_iter().filter(move |e| self.contains(*e))
+    }
+}
+
+impl FromIterator<ClockEvent> for EventSet {
+    fn from_iter<I: IntoIterator<Item = ClockEvent>>(iter: I) -> Self {
+        let mut s = EventSet::empty();
+        for e in iter {
+            s.insert(e);
+        }
+        s
+    }
+}
+
 /// Per-packet output of [`TscNtpClock::process`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProcessOutput {
     /// Global index assigned to this packet.
     pub idx: u64,
@@ -70,7 +141,7 @@ pub struct ProcessOutput {
     /// Current local rate estimate `p̂l`, when active.
     pub p_local: Option<f64>,
     /// Events raised by this packet.
-    pub events: Vec<ClockEvent>,
+    pub events: EventSet,
 }
 
 /// A serializable snapshot of the clock's estimates (enough to resume
@@ -181,7 +252,7 @@ impl TscNtpClock {
 
     /// The main pipeline for a packet once estimates can exist.
     fn process_admitted(&mut self, ex: RawExchange) -> ProcessOutput {
-        let mut events = Vec::new();
+        let mut events = EventSet::empty();
         let p_before = self.rate.p_hat().expect("rate bootstrapped");
 
         // θ̂ᵢ with the *current* clock (p̂, C̄): equation (19).
@@ -190,29 +261,31 @@ impl TscNtpClock {
         // 1. Admit to history; r̂ maintenance; top-window slide.
         let (idx, outcome) = self.history.push(ex, theta_naive);
         if outcome.new_minimum {
-            events.push(ClockEvent::NewRttMinimum);
+            events.insert(ClockEvent::NewRttMinimum);
         }
         if outcome.window_slid {
-            events.push(ClockEvent::WindowSlid);
+            events.insert(ClockEvent::WindowSlid);
             // §6.1: replace the rate pair's j if it was discarded.
             let oldest = self.history.first().map(|r| r.idx).unwrap_or(0);
             let candidate = self.find_j_candidate(p_before);
             self.rate.replace_j_if_dropped(oldest, candidate);
         }
-        let record = *self.history.last().expect("just pushed");
+        // Just pushed: the stored baseline is current by construction, so
+        // the unresolved view is exact and skips a resolution.
+        let record = *self.history.last_unresolved().expect("just pushed");
 
         // 2. Global rate.
         match self.rate.process(&self.history, &record) {
             RateEvent::Updated => {
                 let p_after = self.rate.p_hat().expect("updated");
                 if p_after != p_before {
-                    events.push(ClockEvent::RateUpdated);
+                    events.insert(ClockEvent::RateUpdated);
                     // §6.1 "Clock Offset Consistency": C̄ += TSC(t⁻)(p̂⁻ − p̂)
                     // keeps C(t) continuous across the rate update.
                     self.c_bar += record.tf_c * (p_before - p_after);
                 }
             }
-            RateEvent::SanityRejected => events.push(ClockEvent::RateSanity),
+            RateEvent::SanityRejected => events.insert(ClockEvent::RateSanity),
             RateEvent::RejectedQuality => {}
         }
         let p_hat = self.rate.p_hat().expect("rate exists");
@@ -227,14 +300,19 @@ impl TscNtpClock {
             self.history
                 .apply_upward_shift(shift.new_min_c, shift.start_idx);
             self.shift.reset();
-            events.push(ClockEvent::UpwardShift);
+            events.insert(ClockEvent::UpwardShift);
         }
 
-        // 4. Local rate (needs the re-based history).
-        let record = *self.history.last().expect("present");
+        // 4. Local rate (needs the re-based history — refetch only if a
+        // shift actually re-based it; nothing else mutates the record).
+        let record = if events.contains(ClockEvent::UpwardShift) {
+            self.history.last().expect("present")
+        } else {
+            record
+        };
         match self.local_rate.process(&self.history, &record, p_hat) {
-            LocalRateEvent::Updated => events.push(ClockEvent::LocalRateUpdated),
-            LocalRateEvent::SanityDuplicated => events.push(ClockEvent::LocalRateSanity),
+            LocalRateEvent::Updated => events.insert(ClockEvent::LocalRateUpdated),
+            LocalRateEvent::SanityDuplicated => events.insert(ClockEvent::LocalRateSanity),
             _ => {}
         }
 
@@ -258,9 +336,9 @@ impl TscNtpClock {
             gap_large,
         );
         match off_ev {
-            OffsetEvent::SanityDuplicated => events.push(ClockEvent::OffsetSanity),
+            OffsetEvent::SanityDuplicated => events.insert(ClockEvent::OffsetSanity),
             OffsetEvent::PoorQualityFallback | OffsetEvent::GapBlend => {
-                events.push(ClockEvent::OffsetFallback)
+                events.insert(ClockEvent::OffsetFallback)
             }
             _ => {}
         }
@@ -286,7 +364,6 @@ impl TscNtpClock {
         self.history
             .iter()
             .find(|r| r.point_error(p_hat) < self.cfg.e_star)
-            .copied()
     }
 
     // ------------------------------------------------------------------
@@ -474,7 +551,7 @@ mod tests {
         let mut sanity_fired = false;
         for k in 500..515u64 {
             if let Some(out) = c.process(ex(k as f64 * 16.0, 20e-6, 20e-6, 0.150)) {
-                if out.events.contains(&ClockEvent::OffsetSanity) {
+                if out.events.contains(ClockEvent::OffsetSanity) {
                     sanity_fired = true;
                 }
             }
@@ -518,7 +595,7 @@ mod tests {
                 tf_tsc: ((t + 2.0 * d + s + 40e-6) / P_TRUE).round() as u64,
             };
             if let Some(out) = c.process(e) {
-                if out.events.contains(&ClockEvent::NewRttMinimum) {
+                if out.events.contains(ClockEvent::NewRttMinimum) {
                     saw_new_min = true;
                 }
                 theta_tail = out.theta_hat;
@@ -551,7 +628,7 @@ mod tests {
                 tf_tsc: ((t + 2.0 * 450e-6 + 0.9e-3 + 60e-6) / P_TRUE).round() as u64,
             };
             if let Some(out) = c.process(e) {
-                if out.events.contains(&ClockEvent::UpwardShift) {
+                if out.events.contains(ClockEvent::UpwardShift) {
                     shift_seen = true;
                 }
             }
@@ -641,6 +718,46 @@ mod tests {
         let mut cfg = ClockConfig::paper_defaults(16.0);
         cfg.delta = -1.0;
         TscNtpClock::new(cfg);
+    }
+
+    #[test]
+    fn clock_status_serde_round_trip() {
+        // snapshot -> JSON -> snapshot must be lossless (floats included:
+        // the JSON layer prints shortest-round-trip representations)
+        let mut c = clock();
+        for k in 0..300u64 {
+            c.process(ex(k as f64 * 16.0, 20e-6, 20e-6, 0.0));
+        }
+        let status = c.status();
+        let json = serde_json::to_string(&status).expect("serialize");
+        let back: ClockStatus = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(status, back, "round-trip changed the snapshot: {json}");
+        // an un-bootstrapped snapshot exercises the None fields
+        let empty = TscNtpClock::new(ClockConfig::paper_defaults(16.0)).status();
+        assert!(empty.p_hat.is_none());
+        let json = serde_json::to_string(&empty).expect("serialize");
+        let back: ClockStatus = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(empty.p_hat, back.p_hat);
+        assert_eq!(empty.theta_hat, back.theta_hat);
+        assert_eq!(empty.rtt_min, back.rtt_min);
+        assert_eq!(empty.packets, back.packets);
+    }
+
+    #[test]
+    fn event_set_insert_contains_iter() {
+        let mut s = EventSet::empty();
+        assert!(s.is_empty());
+        s.insert(ClockEvent::RateUpdated);
+        s.insert(ClockEvent::WindowSlid);
+        s.insert(ClockEvent::WindowSlid); // idempotent
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(ClockEvent::RateUpdated));
+        assert!(s.contains(ClockEvent::WindowSlid));
+        assert!(!s.contains(ClockEvent::UpwardShift));
+        let listed: Vec<ClockEvent> = s.iter().collect();
+        assert_eq!(listed, vec![ClockEvent::RateUpdated, ClockEvent::WindowSlid]);
+        let rebuilt: EventSet = listed.into_iter().collect();
+        assert_eq!(rebuilt, s);
     }
 
     #[test]

@@ -196,17 +196,13 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_configs() {
-        let mut c = ClockConfig::default();
-        c.delta = 0.0;
+        let c = ClockConfig { delta: 0.0, ..ClockConfig::default() };
         assert!(c.validate().is_err());
-        let mut c = ClockConfig::default();
-        c.w_split = 2;
+        let c = ClockConfig { w_split: 2, ..ClockConfig::default() };
         assert!(c.validate().is_err());
-        let mut c = ClockConfig::default();
-        c.top_window = 10.0;
+        let c = ClockConfig { top_window: 10.0, ..ClockConfig::default() };
         assert!(c.validate().is_err());
-        let mut c = ClockConfig::default();
-        c.fallback_mult = 0.5;
+        let c = ClockConfig { fallback_mult: 0.5, ..ClockConfig::default() };
         assert!(c.validate().is_err());
     }
 

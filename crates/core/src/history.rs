@@ -13,6 +13,59 @@
 //! downward shifts are absorbed automatically by the running minimum;
 //! upward shifts (detected elsewhere) re-base `r̂` and the stored point
 //! errors back to the shift point.
+//!
+//! # Complexity
+//!
+//! Every operation is **O(1) amortized per packet** and memory is
+//! **O(window)** (one record per retained packet plus three tiny side
+//! structures). The seed implementation was O(window) per packet in two
+//! places, both eliminated here:
+//!
+//! * **Window slides** used to rescan the retained half to recompute `r̂`.
+//!   A monotonic min-deque (`mono`) now tracks candidate minima as records
+//!   are pushed; sliding trims expired candidates from its front and reads
+//!   the new `r̂` in O(1). Each record enters and leaves the deque at most
+//!   once, so maintenance is O(1) amortized.
+//! * **Point-error re-evaluation** (§6.1: when `r̂` improves, "the past
+//!   point errors effectively change ... For the purposes of future
+//!   estimates the new point errors are used") used to sweep every retained
+//!   record and overwrite its stored baseline. Records are now immutable
+//!   after admission; the effective baseline is resolved lazily from an
+//!   **era/baseline table** (see below).
+//!
+//! # The era/baseline design
+//!
+//! Each record stores the baseline in force at admission (`rbase_c`), the
+//! id of the *era* it was admitted into (`era`), and the number of
+//! new-minimum events its era had seen at that moment (`epoch`).
+//!
+//! * An **era** is the span between confirmed upward level shifts (§6.2).
+//!   [`History::apply_upward_shift`] just appends an era with
+//!   `{start_idx, base}` — O(1), no sweep. A record admitted in an older
+//!   era but with `idx ≥ start_idx` is *reassigned*: its effective era is
+//!   the newest era whose `start_idx` does not exceed its index (found by
+//!   binary search over the — tiny — era table), and its baseline restarts
+//!   from that era's `base`, exactly as the eager re-basing sweep would
+//!   have overwritten it.
+//! * Within an era, every new RTT minimum appends a **min-event** to the
+//!   era's suffix-minimum table: a monotonic stack of `(seq, value)` pairs
+//!   such that the minimum of all events from sequence number `p` onward
+//!   can be read with one binary search. The effective baseline of a
+//!   record is then `min(initial baseline, suffix-min of events since its
+//!   epoch)` — precisely the value the eager sweep (`rbase_c = min(rbase_c,
+//!   m)` for each event `m` with `idx ≥ floor`) would have left in place.
+//!
+//! Resolution has an O(1) fast path (no shift and no new minimum since the
+//! record was admitted — the overwhelmingly common case) and an
+//! O(log #events + log #eras) slow path; both tables are bounded by the
+//! number of *distinct retained minima* and *confirmed route changes*, a
+//! handful each in practice.
+//!
+//! Public accessors ([`History::get`], [`History::last`], [`History::iter`],
+//! …) return records *by value with the baseline already resolved*, so
+//! `PacketRecord::point_error` on a returned record behaves exactly as it
+//! did when baselines were updated in place. Crate-internal hot paths use
+//! the raw record views plus `History::resolve_rbase` to skip the copy.
 
 use crate::exchange::RawExchange;
 use std::collections::VecDeque;
@@ -32,9 +85,20 @@ pub struct PacketRecord {
     pub rtt_c: f64,
     /// The RTT-minimum baseline (counts) this packet's point error is
     /// measured against — "point errors relative to the r̂ estimate made at
-    /// the time" (§6.2), updated in place only when an upward shift re-bases
-    /// the post-shift packets.
+    /// the time" (§6.2). Inside the [`History`] this is the baseline *at
+    /// admission*; records returned by the public accessors carry the
+    /// current effective baseline (resolved through the era/min-event
+    /// tables, see the module docs).
     pub rbase_c: f64,
+    /// Era id at admission (incremented by confirmed upward shifts).
+    pub era: u32,
+    /// Number of min-events the era had seen when this record was admitted.
+    pub epoch: u32,
+    /// Host midpoint `(Ta+Tf)/2` in counts, cached at admission (used every
+    /// packet by the offset weight kernel).
+    pub hm_c: f64,
+    /// Server midpoint `(Tb+Te)/2` in seconds, cached at admission.
+    pub sm: f64,
     /// The naive offset estimate `θ̂ᵢ` (equation (19)) computed at admission.
     pub theta: f64,
 }
@@ -56,6 +120,68 @@ pub struct PushOutcome {
     pub new_minimum: bool,
 }
 
+/// One era (the span since a confirmed upward shift), with its suffix-min
+/// table of new-minimum events.
+#[derive(Debug, Clone)]
+struct Era {
+    /// First packet index belonging to this era.
+    start_idx: u64,
+    /// Baseline records reassigned into this era restart from (the
+    /// confirmed post-shift minimum; `∞` for the initial era).
+    base: f64,
+    /// Monotonic suffix-minimum stack: `(seq, v)` means the minimum of all
+    /// min-events from sequence number `seq` onward is `v`. Sequence
+    /// numbers and values are both strictly increasing across entries.
+    events: Vec<(u32, f64)>,
+    /// Sequence number the next min-event will get.
+    next_seq: u32,
+}
+
+impl Era {
+    fn new(start_idx: u64, base: f64) -> Self {
+        Self {
+            start_idx,
+            base,
+            events: Vec::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Appends a new-minimum event with value `m`.
+    fn record_event(&mut self, m: f64) {
+        let mut start = self.next_seq;
+        self.next_seq += 1;
+        // Suffix minima from positions whose current minimum is ≥ m all
+        // become m; merge them into one entry keeping the earliest seq.
+        while let Some(&(s, v)) = self.events.last() {
+            if v >= m {
+                start = s;
+                self.events.pop();
+            } else {
+                break;
+            }
+        }
+        self.events.push((start, m));
+    }
+
+    /// Minimum of all events with sequence number ≥ `epoch` (`∞` if none).
+    fn suffix_min(&self, epoch: u32) -> f64 {
+        if epoch >= self.next_seq {
+            return f64::INFINITY;
+        }
+        // Last entry with seq ≤ epoch. The table is tiny and queries skew
+        // heavily toward recent epochs, so a reverse linear scan beats a
+        // binary search here.
+        for &(s, v) in self.events.iter().rev() {
+            if s <= epoch {
+                return v;
+            }
+        }
+        debug_assert!(false, "suffix-min table must cover seq 0");
+        f64::INFINITY
+    }
+}
+
 /// Bounded packet history with RTT-minimum maintenance.
 #[derive(Debug, Clone)]
 pub struct History {
@@ -64,9 +190,20 @@ pub struct History {
     cap: usize,
     /// Current `r̂` in counts.
     rtt_min_c: f64,
-    /// Index of the first packet after the most recent confirmed upward
-    /// shift; `r̂` recomputations only use packets at or after it.
-    shift_floor_idx: u64,
+    /// Monotonic min-deque of `(idx, rtt_c)` candidates over the retained
+    /// records at or after the shift floor; its front is always the minimum
+    /// RTT a slide-time recomputation would find.
+    mono: VecDeque<(u64, f64)>,
+    /// Era table (never empty; eras have strictly increasing `start_idx`).
+    /// Slides prune eras no retained record can resolve to, so the table is
+    /// bounded by the number of shift points inside the current window.
+    eras: Vec<Era>,
+    /// Absolute era id of `eras[0]` (pruned prefix offset).
+    era_base: u32,
+    /// Re-basing generation: incremented by every new-minimum event and
+    /// every upward shift. Consumers caching resolved baselines (the offset
+    /// window cache) compare generations to know when to rebuild.
+    rebase_gen: u64,
     next_idx: u64,
 }
 
@@ -78,7 +215,10 @@ impl History {
             records: VecDeque::with_capacity(cap.min(1 << 20)),
             cap,
             rtt_min_c: f64::INFINITY,
-            shift_floor_idx: 0,
+            mono: VecDeque::new(),
+            eras: vec![Era::new(0, f64::INFINITY)],
+            era_base: 0,
+            rebase_gen: 0,
             next_idx: 0,
         }
     }
@@ -99,7 +239,33 @@ impl History {
             for _ in 0..self.cap / 2 {
                 self.records.pop_front();
             }
-            self.recompute_min();
+            let front = *self.records.front().expect("half retained");
+            while matches!(self.mono.front(), Some(&(i, _)) if i < front.idx) {
+                self.mono.pop_front();
+            }
+            // §6.1: r̂ recomputed from the retained records at or after the
+            // shift floor — exactly the front of the min-deque (entries
+            // below the floor were trimmed when the shift was applied).
+            if let Some(&(_, m)) = self.mono.front() {
+                self.rtt_min_c = m;
+            }
+            // Keep memory O(window): drop eras no retained record can
+            // resolve to (every retained idx is ≥ the next era's start, so
+            // resolution never reaches the dropped one), and fold
+            // suffix-min entries no retained record's epoch can query.
+            while self.eras.len() >= 2 && self.eras[1].start_idx <= front.idx {
+                self.eras.remove(0);
+                self.era_base += 1;
+            }
+            if front.era == self.current_era_id() {
+                // All retained records resolve into the current era with
+                // epochs ≥ the oldest record's, so earlier step entries of
+                // the suffix-min table are unreachable.
+                let cur = self.current_era_mut();
+                while cur.events.len() >= 2 && cur.events[1].0 <= front.epoch {
+                    cur.events.remove(0);
+                }
+            }
             window_slid = true;
         }
         let new_minimum = rtt_c < self.rtt_min_c;
@@ -107,16 +273,19 @@ impl History {
             self.rtt_min_c = rtt_c;
             // §6.1 "Re-evaluation of Point Errors": when r̂ improves, "the
             // past point errors effectively change ... For the purposes of
-            // future estimates the new point errors are used." Propagate the
-            // better minimum to every record of the current era (stored θ̂ᵢ
-            // are deliberately NOT recomputed, also per §6.1).
-            let floor = self.shift_floor_idx;
-            for r in self.records.iter_mut() {
-                if r.idx >= floor && r.rbase_c > rtt_c {
-                    r.rbase_c = rtt_c;
-                }
-            }
+            // future estimates the new point errors are used." Recorded as
+            // a min-event; resolution applies it to every record of the
+            // current era lazily (stored θ̂ᵢ are deliberately NOT
+            // recomputed, also per §6.1).
+            self.current_era_mut().record_event(rtt_c);
+            self.rebase_gen += 1;
         }
+        while matches!(self.mono.back(), Some(&(_, v)) if v >= rtt_c) {
+            self.mono.pop_back();
+        }
+        self.mono.push_back((idx, rtt_c));
+        let era = self.current_era_id();
+        let epoch = self.current_era().next_seq;
         self.records.push_back(PacketRecord {
             idx,
             ex,
@@ -124,6 +293,10 @@ impl History {
             tf_c: ex.tf_tsc as f64,
             rtt_c,
             rbase_c: self.rtt_min_c,
+            era,
+            epoch,
+            hm_c: ex.host_midpoint_counts(),
+            sm: ex.server_midpoint(),
             theta,
         });
         (idx, PushOutcome {
@@ -132,41 +305,121 @@ impl History {
         })
     }
 
-    /// Recomputes `r̂` from the retained records at or after the shift floor
-    /// (§6.1: after an upward shift "the new value will be based only on
-    /// values beyond the last detected shift point").
-    fn recompute_min(&mut self) {
-        let floor = self.shift_floor_idx;
-        let m = self
-            .records
-            .iter()
-            .filter(|r| r.idx >= floor)
-            .map(|r| r.rtt_c)
-            .fold(f64::INFINITY, f64::min);
-        if m.is_finite() {
-            self.rtt_min_c = m;
+    /// Applies a confirmed upward level shift: re-bases `r̂` to `new_min_c`
+    /// and (lazily) the baselines of every packet from `shift_start_idx`
+    /// on, so their point errors are "relative to current error level
+    /// (after any shifts)" (§6.2). O(1): appends an era.
+    ///
+    /// Shift start indices must be non-decreasing across calls (the shift
+    /// detector guarantees this: its window is cleared after each
+    /// confirmation).
+    pub fn apply_upward_shift(&mut self, new_min_c: f64, shift_start_idx: u64) {
+        debug_assert!(
+            shift_start_idx >= self.current_era().start_idx,
+            "shift starts must be non-decreasing"
+        );
+        self.rtt_min_c = new_min_c;
+        // Future r̂ recomputations only use packets at or after the shift
+        // point (§6.1): drop older candidates now, in O(dropped).
+        while matches!(self.mono.front(), Some(&(i, _)) if i < shift_start_idx) {
+            self.mono.pop_front();
         }
-        // if nothing qualifies (e.g. empty history), keep the old value:
-        // "our reaction can legitimately be 'change nothing'".
+        self.eras.push(Era::new(shift_start_idx, new_min_c));
+        self.rebase_gen += 1;
     }
 
-    /// Applies a confirmed upward level shift: re-bases `r̂` to `new_min_c`
-    /// and updates the stored baselines of every packet from
-    /// `shift_start_idx` on, so their point errors are "relative to current
-    /// error level (after any shifts)" (§6.2).
-    pub fn apply_upward_shift(&mut self, new_min_c: f64, shift_start_idx: u64) {
-        self.rtt_min_c = new_min_c;
-        self.shift_floor_idx = shift_start_idx;
-        for r in self.records.iter_mut() {
-            if r.idx >= shift_start_idx {
-                r.rbase_c = new_min_c;
+    fn current_era(&self) -> &Era {
+        self.eras.last().expect("era table never empty")
+    }
+
+    /// Absolute id of the current era (stable across prefix pruning).
+    fn current_era_id(&self) -> u32 {
+        self.era_base + (self.eras.len() - 1) as u32
+    }
+
+    fn current_era_mut(&mut self) -> &mut Era {
+        self.eras.last_mut().expect("era table never empty")
+    }
+
+    /// Effective baseline of `r` under the era/min-event tables — the value
+    /// the eager re-basing sweeps would have left in `r.rbase_c`.
+    #[inline]
+    pub(crate) fn resolve_rbase(&self, r: &PacketRecord) -> f64 {
+        let current = self.current_era();
+        if r.era == self.current_era_id() {
+            // Same era: apply min-events recorded since admission.
+            if r.epoch == current.next_seq {
+                r.rbase_c // fast path: nothing happened since admission
+            } else {
+                r.rbase_c.min(current.suffix_min(r.epoch))
             }
+        } else {
+            self.resolve_rbase_reassigned(r)
+        }
+    }
+
+    /// A loop-hoistable view of the resolution state: hot paths check the
+    /// two-compare fast path against pre-loaded era/epoch values instead of
+    /// chasing the era table per record.
+    #[inline]
+    pub(crate) fn baseline_view(&self) -> BaselineView<'_> {
+        BaselineView {
+            history: self,
+            current_era: self.current_era_id(),
+            next_seq: self.current_era().next_seq,
+        }
+    }
+
+    /// Slow path: the record was admitted in an older era; find its
+    /// effective era by start index and re-derive its baseline.
+    #[cold]
+    fn resolve_rbase_reassigned(&self, r: &PacketRecord) -> f64 {
+        let eff = self.eras.partition_point(|e| e.start_idx <= r.idx) - 1;
+        let era = &self.eras[eff];
+        if self.era_base + eff as u32 == r.era {
+            // Still its own era: events since admission apply.
+            r.rbase_c.min(era.suffix_min(r.epoch))
+        } else {
+            // Reassigned by an upward shift: baseline restarts from the
+            // era's base, then every min-event of that era applies.
+            era.base.min(era.suffix_min(0))
+        }
+    }
+
+
+    /// Copies a record with its baseline resolved to the current value.
+    fn resolved(&self, r: &PacketRecord) -> PacketRecord {
+        PacketRecord {
+            rbase_c: self.resolve_rbase(r),
+            ..*r
         }
     }
 
     /// Current RTT minimum `r̂` in counts (`∞` before the first packet).
     pub fn rtt_min_c(&self) -> f64 {
         self.rtt_min_c
+    }
+
+    /// Re-basing generation (bumped by min-events and upward shifts).
+    pub(crate) fn rebase_gen(&self) -> u64 {
+        self.rebase_gen
+    }
+
+    /// The newest record WITHOUT baseline resolution — only valid
+    /// immediately after [`History::push`], when the stored baseline is by
+    /// construction current.
+    pub(crate) fn last_unresolved(&self) -> Option<&PacketRecord> {
+        self.records.back()
+    }
+
+    /// Raw (unresolved) record by global index, O(1).
+    pub(crate) fn get_raw(&self, idx: u64) -> Option<&PacketRecord> {
+        let front = self.records.front()?.idx;
+        if idx < front {
+            return None;
+        }
+        let offset = usize::try_from(idx - front).ok()?;
+        self.records.get(offset)
     }
 
     /// Number of retained records.
@@ -184,34 +437,74 @@ impl History {
         self.next_idx
     }
 
-    /// The most recent record.
-    pub fn last(&self) -> Option<&PacketRecord> {
-        self.records.back()
+    /// The most recent record (baseline resolved).
+    pub fn last(&self) -> Option<PacketRecord> {
+        self.records.back().map(|r| self.resolved(r))
     }
 
-    /// The record with global index `idx`, if still retained.
-    pub fn get(&self, idx: u64) -> Option<&PacketRecord> {
+    /// The record with global index `idx`, if still retained (baseline
+    /// resolved). Index arithmetic is done in `u64` with a checked
+    /// conversion so an offset beyond `usize` (possible on 32-bit targets)
+    /// is a clean `None`, never a truncated — aliased — lookup.
+    pub fn get(&self, idx: u64) -> Option<PacketRecord> {
         let front = self.records.front()?.idx;
         if idx < front {
             return None;
         }
-        self.records.get((idx - front) as usize)
+        let offset = usize::try_from(idx - front).ok()?;
+        self.records.get(offset).map(|r| self.resolved(r))
     }
 
-    /// Iterates over the most recent `n` records, oldest first.
-    pub fn last_n(&self, n: usize) -> impl Iterator<Item = &PacketRecord> {
+    /// Iterates over the most recent `n` records, oldest first (baselines
+    /// resolved).
+    pub fn last_n(&self, n: usize) -> impl Iterator<Item = PacketRecord> + '_ {
+        self.tail_raw(n).map(|r| self.resolved(r))
+    }
+
+    /// Iterates over all retained records, oldest first (baselines
+    /// resolved).
+    pub fn iter(&self) -> impl Iterator<Item = PacketRecord> + '_ {
+        self.records.iter().map(|r| self.resolved(r))
+    }
+
+    /// The earliest retained record, if any (baseline resolved).
+    pub fn first(&self) -> Option<PacketRecord> {
+        self.records.front().map(|r| self.resolved(r))
+    }
+
+    /// Raw (unresolved) view of the most recent `n` records, oldest first —
+    /// for crate-internal hot loops that resolve baselines themselves via
+    /// [`History::resolve_rbase`] / [`History::point_error_of`].
+    pub(crate) fn tail_raw(&self, n: usize) -> impl Iterator<Item = &PacketRecord> {
         let skip = self.records.len().saturating_sub(n);
-        self.records.iter().skip(skip)
+        self.records.range(skip..)
     }
 
-    /// Iterates over all retained records, oldest first.
-    pub fn iter(&self) -> impl Iterator<Item = &PacketRecord> {
-        self.records.iter()
+    /// Raw (unresolved) view of positions `start..end` (oldest = 0).
+    pub(crate) fn range_raw(&self, start: usize, end: usize) -> impl Iterator<Item = &PacketRecord> {
+        self.records.range(start..end)
     }
 
-    /// The earliest retained record, if any.
-    pub fn first(&self) -> Option<&PacketRecord> {
-        self.records.front()
+}
+
+/// See [`History::baseline_view`].
+#[derive(Clone, Copy)]
+pub(crate) struct BaselineView<'a> {
+    history: &'a History,
+    current_era: u32,
+    next_seq: u32,
+}
+
+impl BaselineView<'_> {
+    /// Same result as [`History::resolve_rbase`], with the fast path fully
+    /// inlined (two integer compares, no memory indirection).
+    #[inline(always)]
+    pub(crate) fn resolve(&self, r: &PacketRecord) -> f64 {
+        if r.era == self.current_era && r.epoch == self.next_seq {
+            r.rbase_c
+        } else {
+            self.history.resolve_rbase(r)
+        }
     }
 }
 
@@ -320,6 +613,29 @@ mod tests {
     }
 
     #[test]
+    fn minimum_after_shift_rebases_new_era_records() {
+        // A new minimum after a confirmed shift must lower the baselines of
+        // reassigned (pre-shift-confirmation) records too, but leave
+        // pre-shift-point packets frozen.
+        let mut h = History::new(100);
+        for k in 0..5u64 {
+            h.push(ex(k * 1_000_000_000, 1_000_000), 0.0);
+        }
+        for k in 5..10u64 {
+            h.push(ex(k * 1_000_000_000, 1_900_000), 0.0);
+        }
+        h.apply_upward_shift(1_900_000.0, 5);
+        // better post-shift minimum arrives
+        let (_, out) = h.push(ex(10_000_000_000, 1_850_000), 0.0);
+        assert!(out.new_minimum);
+        let p = 1e-9;
+        // reassigned record 7: baseline 1.9M → 1.85M
+        assert!((h.get(7).unwrap().point_error(p) - 50e-6).abs() < 1e-12);
+        // pre-shift record 3 keeps its frozen baseline (1.0M)
+        assert_eq!(h.get(3).unwrap().point_error(p), 0.0);
+    }
+
+    #[test]
     fn get_and_last_n() {
         let mut h = History::new(8);
         for k in 0..6u64 {
@@ -331,6 +647,23 @@ mod tests {
         assert_eq!(last3, vec![3, 4, 5]);
         let all: Vec<u64> = h.last_n(100).map(|r| r.idx).collect();
         assert_eq!(all.len(), 6);
+    }
+
+    #[test]
+    fn get_is_panic_proof_for_huge_indices() {
+        // Regression: the offset `idx - front` is computed in u64 and
+        // checked-converted to usize, so an index far beyond the window —
+        // past usize::MAX on 32-bit targets — returns None instead of
+        // panicking or aliasing into the deque after truncation.
+        let mut h = History::new(8);
+        for k in 0..6u64 {
+            h.push(ex(k * 1_000_000_000, 1_000_000), 0.0);
+        }
+        assert!(h.get(u64::MAX).is_none());
+        assert!(h.get(6 + (1u64 << 40)).is_none());
+        // a 32-bit-truncation alias of a valid offset must also be None:
+        // offset = 2^32 + 3 would alias record 3 if cast with `as usize`
+        assert!(h.get((1u64 << 32) + 3).is_none());
     }
 
     #[test]
@@ -346,5 +679,53 @@ mod tests {
     #[should_panic(expected = "too small")]
     fn tiny_capacity_rejected() {
         History::new(3);
+    }
+
+    #[test]
+    fn era_table_stays_bounded_across_shifts_and_slides() {
+        // Memory must stay O(window): eras whose records have all been
+        // discarded are pruned on slides, and resolution keeps working for
+        // the retained records (exercised against point_error values).
+        let mut h = History::new(16);
+        let mut idx = 0u64;
+        for round in 0..200u64 {
+            let level = 1_000_000 + round * 10_000;
+            for _ in 0..10 {
+                h.push(ex(idx * 1_000_000_000, level + idx % 3), 0.0);
+                idx += 1;
+            }
+            h.apply_upward_shift(level as f64, idx.saturating_sub(5));
+        }
+        assert!(
+            h.eras.len() <= 4,
+            "era table must be pruned, len {}",
+            h.eras.len()
+        );
+        // resolution still consistent for every retained record
+        for r in h.iter() {
+            assert!(r.rbase_c.is_finite());
+            assert!(r.point_error(1e-9) >= 0.0 || r.point_error(1e-9).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn suffix_min_table_matches_brute_force() {
+        // Era suffix-min stack vs a naive suffix scan, on a value series
+        // with re-rises (slides can raise r̂, so min-events need not be
+        // monotone).
+        let mut era = Era::new(0, f64::INFINITY);
+        let events = [5.0, 3.0, 4.0, 2.0, 6.0, 1.5, 4.5, 1.0];
+        let mut recorded: Vec<f64> = Vec::new();
+        for &m in &events {
+            era.record_event(m);
+            recorded.push(m);
+            for p in 0..=recorded.len() {
+                let naive = recorded[p.min(recorded.len())..]
+                    .iter()
+                    .copied()
+                    .fold(f64::INFINITY, f64::min);
+                assert_eq!(era.suffix_min(p as u32), naive, "suffix from {p}");
+            }
+        }
     }
 }

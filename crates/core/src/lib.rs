@@ -32,6 +32,30 @@
 //!  ProcessOutput { θ̂, p̂, p̂l, events }
 //! ```
 //!
+//! ## Performance
+//!
+//! [`TscNtpClock::process`] is **O(1) amortized per packet and
+//! allocation-free** in steady state, independent of the top-level history
+//! size (one week ≈ 38k packets at 16 s polling):
+//!
+//! * the RTT minimum `r̂` is maintained with a monotonic min-deque, and
+//!   §6.1 point-error re-evaluation is resolved lazily through an
+//!   era/baseline table instead of sweeping the stored records — see the
+//!   [`history`] module docs for the design;
+//! * the §5.3 offset estimator keeps a rolling structure-of-arrays mirror
+//!   of its τ′ window (add-on-push, rebuilt on the rare re-basing events)
+//!   and evaluates weights, sums and the quality gate in one fused,
+//!   SIMD-accelerated pass ([`fastmath`]) — the window is a fixed packet
+//!   count (τ′/poll), so the pass is O(1) in the history size;
+//! * the §5.2 local-rate sub-windows are read directly out of the history
+//!   ring, and per-packet events are reported as a copyable
+//!   [`clock::EventSet`] bitflag word rather than a heap-allocated list.
+//!
+//! Memory is O(window). The pre-optimization pipeline is preserved under
+//! the `reference` feature (module [`reference`]) for differential tests
+//! and before/after benchmarks; a property test drives both over random
+//! scenarios and asserts estimate parity.
+//!
 //! ## Quick example
 //!
 //! ```
@@ -54,16 +78,19 @@ pub mod asym;
 pub mod clock;
 pub mod config;
 pub mod exchange;
+pub mod fastmath;
 pub mod history;
 pub mod local_rate;
 pub mod naive;
 pub mod offset;
 pub mod rate;
+#[cfg(any(test, feature = "reference"))]
+pub mod reference;
 pub mod shift;
 pub mod units;
 
 pub use asym::{estimate_asymmetry, RefExchange};
-pub use clock::{ClockEvent, ClockStatus, ProcessOutput, TscNtpClock};
+pub use clock::{ClockEvent, ClockStatus, EventSet, ProcessOutput, TscNtpClock};
 pub use config::ClockConfig;
 pub use exchange::RawExchange;
 pub use history::{History, PacketRecord};

@@ -47,6 +47,22 @@ pub struct LocalRate {
     p_l: Option<f64>,
     /// `Tf` (counts) of the packet at the last update.
     updated_at_tfc: f64,
+    /// Rolling argmin deques over the far/near sub-windows: `(global idx,
+    /// key)` candidates with strictly increasing keys, front = sub-window
+    /// minimum (earliest on ties, matching `Iterator::min_by`). Keys are
+    /// `rtt − r̂base` frozen at insertion; any re-basing event invalidates
+    /// them, so the deques are rebuilt when `History::rebase_gen` moves
+    /// (rare), and otherwise maintained with O(1) amortized push/evict.
+    far_q: std::collections::VecDeque<(u64, f64)>,
+    near_q: std::collections::VecDeque<(u64, f64)>,
+    /// Exclusive end (global idx) of the far sub-window at the last call.
+    far_hi: u64,
+    /// `k.idx` of the last maintained call (consecutiveness check).
+    last_k_idx: u64,
+    /// `History::rebase_gen` the deque keys were resolved under.
+    keys_gen: u64,
+    /// Whether the deques currently mirror the sub-windows.
+    synced: bool,
 }
 
 impl LocalRate {
@@ -69,6 +85,12 @@ impl LocalRate {
             freshness: freshness_seconds,
             p_l: None,
             updated_at_tfc: f64::NAN,
+            far_q: std::collections::VecDeque::new(),
+            near_q: std::collections::VecDeque::new(),
+            far_hi: 0,
+            last_k_idx: 0,
+            keys_gen: 0,
+            synced: false,
         }
     }
 
@@ -101,36 +123,74 @@ impl LocalRate {
             return LocalRateEvent::Inactive;
         }
         // Sub-window sizes in packets (§5.2): near τ̄/W, far 2τ̄/W; the far
-        // window is the *oldest* part of the (τ̄(W+1)/W)-long span.
+        // window is the *oldest* part of the (τ̄(W+1)/W)-long span. The
+        // sub-windows are read directly out of the history ring — no
+        // per-packet buffer is collected.
         let near_n = (self.n_bar / self.w_split).max(1);
         let far_n = (2 * self.n_bar / self.w_split).max(1);
         let span = self.n_bar + self.n_bar / self.w_split; // τ̄(W+1)/W
-        let window: Vec<&PacketRecord> = history.last_n(span).collect();
-        if window.len() < near_n + far_n + 1 {
+        let len = history.len();
+        let w = len.min(span);
+        if w < near_n + far_n + 1 {
             return LocalRateEvent::Inactive;
         }
-        let best = |slice: &[&PacketRecord]| -> PacketRecord {
-            **slice
-                .iter()
-                .min_by(|a, b| {
-                    a.point_error(p_ref)
-                        .partial_cmp(&b.point_error(p_ref))
-                        .expect("finite point errors")
-                })
-                .expect("non-empty")
-        };
-        let far = best(&window[..far_n]);
-        let near = best(&window[window.len() - near_n..]);
-        if near.idx == far.idx {
+        // Sub-window minima by the counts-domain key `rtt − r̂base`:
+        // ordering by it is identical to ordering by point error (the
+        // positive factor p̂ preserves order), and the winner's point error
+        // is then computed with exactly the seed's expression. The minima
+        // come from rolling monotonic argmin deques maintained across
+        // calls; a re-basing event or a non-consecutive call rebuilds them
+        // from the history (O(sub-window), rare).
+        let k_idx = k.idx;
+        let far_lo = k_idx + 1 - w as u64;
+        let far_hi = far_lo + far_n as u64;
+        let near_lo = k_idx + 1 - near_n as u64;
+        let gen = history.rebase_gen();
+        let view = history.baseline_view();
+        if self.synced
+            && self.keys_gen == gen
+            && self.last_k_idx.wrapping_add(1) == k_idx
+            && far_hi.wrapping_sub(self.far_hi) <= 1
+        {
+            // Incremental step: at most one element enters each window.
+            if far_hi > self.far_hi {
+                let r = history.get_raw(far_hi - 1).expect("retained");
+                let key = r.rtt_c - view.resolve(r);
+                Self::push_candidate(&mut self.far_q, far_hi - 1, key);
+            }
+            let key = k.rtt_c - view.resolve(k);
+            Self::push_candidate(&mut self.near_q, k_idx, key);
+        } else {
+            // Rebuild both deques from scratch.
+            self.far_q.clear();
+            self.near_q.clear();
+            let start = len - w;
+            for r in history.range_raw(start, start + far_n) {
+                Self::push_candidate(&mut self.far_q, r.idx, r.rtt_c - view.resolve(r));
+            }
+            for r in history.range_raw(len - near_n, len) {
+                Self::push_candidate(&mut self.near_q, r.idx, r.rtt_c - view.resolve(r));
+            }
+            self.keys_gen = gen;
+            self.synced = true;
+        }
+        while matches!(self.far_q.front(), Some(&(i, _)) if i < far_lo) {
+            self.far_q.pop_front();
+        }
+        while matches!(self.near_q.front(), Some(&(i, _)) if i < near_lo) {
+            self.near_q.pop_front();
+        }
+        self.far_hi = far_hi;
+        self.last_k_idx = k_idx;
+        let &(far_idx, far_key) = self.far_q.front().expect("non-empty far window");
+        let &(near_idx, near_key) = self.near_q.front().expect("non-empty near window");
+        if near_idx == far_idx {
             return self.duplicate(k, LocalRateEvent::QualityDuplicated);
         }
-        let Some(pe) = pair_estimate(
-            &far.ex,
-            &near.ex,
-            far.point_error(p_ref),
-            near.point_error(p_ref),
-            p_ref,
-        ) else {
+        let far_ex = history.get_raw(far_idx).expect("retained").ex;
+        let near_ex = history.get_raw(near_idx).expect("retained").ex;
+        let (far_pe, near_pe) = (far_key * p_ref, near_key * p_ref);
+        let Some(pe) = pair_estimate(&far_ex, &near_ex, far_pe, near_pe, p_ref) else {
             return self.duplicate(k, LocalRateEvent::QualityDuplicated);
         };
         // Quality gate against γ*.
@@ -146,6 +206,16 @@ impl LocalRate {
         self.p_l = Some(pe.p_hat);
         self.updated_at_tfc = k.tf_c;
         LocalRateEvent::Updated
+    }
+
+    /// Monotonic argmin push: drop candidates that can never win again
+    /// (strictly worse keys), keeping earlier entries on ties so the front
+    /// is always the earliest minimum.
+    fn push_candidate(q: &mut std::collections::VecDeque<(u64, f64)>, idx: u64, key: f64) {
+        while matches!(q.back(), Some(&(_, bk)) if bk > key) {
+            q.pop_back();
+        }
+        q.push_back((idx, key));
     }
 
     /// "Conservative" duplication: keep the previous value but refresh its
@@ -201,7 +271,7 @@ mod tests {
         let (mut h, mut lr) = setup(100);
         for k in 0..50u64 {
             h.push(ex_drift(k as f64 * 16.0, 0.0, 0.0), 0.0);
-            let r = *h.last().unwrap();
+            let r = h.last().unwrap();
             assert_eq!(lr.process(&h, &r, P0), LocalRateEvent::Inactive);
         }
         assert!(lr.p_local().is_none());
@@ -213,7 +283,7 @@ mod tests {
         let mut updated = false;
         for k in 0..400u64 {
             h.push(ex_drift(k as f64 * 16.0, 0.0, 0.0), 0.0);
-            let r = *h.last().unwrap();
+            let r = h.last().unwrap();
             if lr.process(&h, &r, P0) == LocalRateEvent::Updated {
                 updated = true;
             }
@@ -232,7 +302,7 @@ mod tests {
         for k in 0..2000u64 {
             let t = k as f64 * 16.0;
             h.push(ex_drift(t, drift, 0.0), 0.0);
-            let r = *h.last().unwrap();
+            let r = h.last().unwrap();
             lr.process(&h, &r, P0);
             if let Some(p) = lr.p_local() {
                 estimates.push((t, p));
@@ -254,7 +324,7 @@ mod tests {
         let (mut h, mut lr) = setup(100);
         for k in 0..300u64 {
             h.push(ex_drift(k as f64 * 16.0, 0.0, 0.0), 0.0);
-            let r = *h.last().unwrap();
+            let r = h.last().unwrap();
             lr.process(&h, &r, P0);
         }
         let p_before = lr.p_local().unwrap();
@@ -262,7 +332,7 @@ mod tests {
         let mut saw_duplicate = false;
         for k in 300..330u64 {
             h.push(ex_drift(k as f64 * 16.0, 0.0, 8e-3), 0.0);
-            let r = *h.last().unwrap();
+            let r = h.last().unwrap();
             let ev = lr.process(&h, &r, P0);
             if ev == LocalRateEvent::QualityDuplicated || ev == LocalRateEvent::SanityDuplicated {
                 saw_duplicate = true;
@@ -285,7 +355,7 @@ mod tests {
         let (mut h, mut lr) = setup(100);
         for k in 0..300u64 {
             h.push(ex_drift(k as f64 * 16.0, 0.0, 0.0), 0.0);
-            let r = *h.last().unwrap();
+            let r = h.last().unwrap();
             lr.process(&h, &r, P0);
         }
         let p_before = lr.p_local().unwrap();
@@ -295,7 +365,7 @@ mod tests {
             e.tb += 0.150;
             e.te += 0.150;
             h.push(e, 0.0);
-            let r = *h.last().unwrap();
+            let r = h.last().unwrap();
             lr.process(&h, &r, P0);
         }
         let p_after = lr.p_local().unwrap();
@@ -310,7 +380,7 @@ mod tests {
         let (mut h, mut lr) = setup(50);
         for k in 0..200u64 {
             h.push(ex_drift(k as f64 * 16.0, 0.0, 0.0), 0.0);
-            let r = *h.last().unwrap();
+            let r = h.last().unwrap();
             lr.process(&h, &r, P0);
         }
         let last_tfc = h.last().unwrap().tf_c;
@@ -325,7 +395,7 @@ mod tests {
         let (mut h, mut lr) = setup(50);
         for k in 0..200u64 {
             h.push(ex_drift(k as f64 * 16.0, 0.0, 0.0), 0.0);
-            let r = *h.last().unwrap();
+            let r = h.last().unwrap();
             lr.process(&h, &r, P0);
         }
         let tfc = h.last().unwrap().tf_c;

@@ -48,6 +48,94 @@ pub struct OffsetEstimator {
     last_err: f64,
     /// Consecutive sanity duplications (lock-out escape counter).
     sanity_run: u32,
+    /// Rolling structure-of-arrays cache of the τ′ window (see
+    /// [`WindowCache`]): per-record invariants laid out densely so the
+    /// weight kernel streams contiguous arrays instead of striding the
+    /// record deque.
+    cache: WindowCache,
+}
+
+/// Rolling SoA mirror of the offset window: one slot per record (ring
+/// indexed by global packet index), holding exactly the per-record values
+/// the weight kernel reads. Maintained add-on-push — one O(1) append per
+/// packet — and rebuilt from the history (O(τ′), amortized away by rarity)
+/// whenever the baselines it folded in are invalidated by a re-basing
+/// event (new RTT minimum or upward shift), detected via
+/// `History::rebase_gen`.
+#[derive(Debug, Clone, Default)]
+struct WindowCache {
+    /// Ring capacity (power of two ≥ the window size), 0 = unallocated.
+    cap: usize,
+    /// `rtt_c − effective baseline` in counts (the point error before the
+    /// p̂ scaling), with all re-basing folded in.
+    pe_c: Vec<f64>,
+    tf_c: Vec<f64>,
+    hm_c: Vec<f64>,
+    sm: Vec<f64>,
+    /// Global index of the newest cached record (`u64::MAX` = empty).
+    last_idx: u64,
+    /// Number of consecutive valid records ending at `last_idx`.
+    len: usize,
+    /// `History::rebase_gen` at fill time.
+    gen: u64,
+}
+
+impl WindowCache {
+    fn slot(&self, idx: u64) -> usize {
+        (idx as usize) & (self.cap - 1)
+    }
+
+    /// Ensures the cache holds the `n` records ending at `k` (the packet
+    /// just admitted), appending or rebuilding as needed.
+    fn sync(&mut self, history: &History, k: &PacketRecord, window_n: usize) {
+        if self.cap < window_n.next_power_of_two() {
+            self.cap = window_n.next_power_of_two().max(8);
+            self.pe_c = vec![0.0; self.cap];
+            self.tf_c = vec![0.0; self.cap];
+            self.hm_c = vec![0.0; self.cap];
+            self.sm = vec![0.0; self.cap];
+            self.last_idx = u64::MAX;
+            self.len = 0;
+        }
+        let gen = history.rebase_gen();
+        if gen == self.gen && self.len > 0 && k.idx == self.last_idx.wrapping_add(1) {
+            // Fast path: exactly the one new record to fold in. Its stored
+            // baseline is current by construction (just pushed).
+            let s = self.slot(k.idx);
+            self.pe_c[s] = k.rtt_c - k.rbase_c;
+            self.tf_c[s] = k.tf_c;
+            self.hm_c[s] = k.hm_c;
+            self.sm[s] = k.sm;
+            self.last_idx = k.idx;
+            self.len = (self.len + 1).min(self.cap);
+        } else {
+            // Rebuild: resolve every window record's baseline afresh.
+            let view = history.baseline_view();
+            let mut count = 0usize;
+            for r in history.tail_raw(window_n) {
+                let s = self.slot(r.idx);
+                self.pe_c[s] = r.rtt_c - view.resolve(r);
+                self.tf_c[s] = r.tf_c;
+                self.hm_c[s] = r.hm_c;
+                self.sm[s] = r.sm;
+                count += 1;
+            }
+            self.last_idx = k.idx;
+            self.len = count;
+            self.gen = gen;
+        }
+    }
+
+    /// The two contiguous slot ranges covering the last `n` records,
+    /// oldest first.
+    fn ranges(&self, n: usize) -> (std::ops::Range<usize>, std::ops::Range<usize>) {
+        let lo = self.slot(self.last_idx.wrapping_sub(n as u64 - 1));
+        if lo + n <= self.cap {
+            (lo..lo + n, 0..0)
+        } else {
+            (lo..self.cap, 0..n - (self.cap - lo))
+        }
+    }
 }
 
 impl Default for OffsetEstimator {
@@ -64,6 +152,7 @@ impl OffsetEstimator {
             last_tfc: f64::NAN,
             last_err: f64::INFINITY,
             sanity_run: 0,
+            cache: WindowCache::default(),
         }
     }
 
@@ -120,26 +209,54 @@ impl OffsetEstimator {
         warmup: bool,
         gap_large: bool,
     ) -> (f64, OffsetEvent) {
-        let theta_of = |r: &PacketRecord| {
-            r.ex.host_midpoint_counts() * p_hat + c_bar - r.ex.server_midpoint()
-        };
+        let theta_of = |r: &PacketRecord| r.hm_c * p_hat + c_bar - r.sm;
         let e_scale = cfg.quality_scale * if warmup { 3.0 } else { 1.0 };
         let window_n = cfg.tau_prime_packets();
         // Equation (21): θ̂(t) = Σ wᵢ (θ̂ᵢ − γ̂l (Cd(t) − Cd(Tf,i))) / Σ wᵢ
         // (with γ̂l = 0 this is equation (20)). The per-packet correction
         // projects each stored θ̂ᵢ forward by the residual rate over its age.
+        //
+        // One fused, allocation-free window pass (the buffers are reused
+        // across packets) accumulates every statistic the update needs: the
+        // weighted sums, the window quality gate (min Eᵀ), and the weighted
+        // mean total error that becomes the estimate's error bound. The
+        // weights cannot be maintained as incremental rolling sums without
+        // changing the estimator — the paper's total error Eᵀᵢ(t) (§5.3(i))
+        // is a function of the packet's age *at evaluation time*, so every
+        // weight changes with every new packet. The window is a fixed packet
+        // count (τ′/poll), so the pass is O(1) per packet in the history
+        // size. Splitting the pass into argument-preparation, exponential
+        // (crate::fastmath::exp_fast, straight-line arithmetic) and
+        // accumulation keeps each loop free of calls and branches so the
+        // compiler can vectorize them.
         let g = gamma_l.unwrap_or(0.0);
-        let mut sum_w = 0.0;
-        let mut sum_wth = 0.0;
-        let mut min_et = f64::INFINITY;
-        for r in history.last_n(window_n) {
-            let age = (k.tf_c - r.tf_c) * p_hat;
-            let et = r.point_error(p_hat) + cfg.aging_rate * age;
-            min_et = min_et.min(et);
-            let w = (-(et / e_scale).powi(2)).exp();
-            sum_w += w;
-            sum_wth += w * (theta_of(r) - g * age);
+        self.cache.sync(history, k, window_n);
+        let n = self.cache.len.min(window_n).min(history.len());
+        // One fused pass per contiguous cache range: total errors, weights
+        // (exponentials evaluated in registers), weighted sums and the
+        // window minimum, with no intermediate buffers. See
+        // `fastmath::weight_pass` for the kernel and its accuracy contract.
+        let consts = crate::fastmath::WeightConsts {
+            ktf: k.tf_c,
+            p_hat,
+            aging: cfg.aging_rate,
+            inv_e: 1.0 / e_scale,
+            c_bar,
+            g,
+        };
+        let (r1, r2) = self.cache.ranges(n);
+        let mut sums = crate::fastmath::WeightSums::identity();
+        for rng in [r1, r2] {
+            sums.absorb(crate::fastmath::weight_pass(
+                &self.cache.pe_c[rng.clone()],
+                &self.cache.tf_c[rng.clone()],
+                &self.cache.hm_c[rng.clone()],
+                &self.cache.sm[rng],
+                &consts,
+            ));
         }
+        let (sum_w, sum_wth, sum_wet, min_et) =
+            (sums.sum_w, sums.sum_wth, sums.sum_wet, sums.min_et);
 
         let first = self.theta.is_none();
         let quality_poor = min_et > cfg.e_fallback() || sum_w <= f64::MIN_POSITIVE;
@@ -219,17 +336,9 @@ impl OffsetEstimator {
         self.last_tfc = k.tf_c;
         if event == OffsetEvent::Weighted || event == OffsetEvent::Initialised {
             // error of a weighted estimate ≈ weighted mean total error
-            let mut sw = 0.0;
-            let mut swe = 0.0;
-            for r in history.last_n(window_n) {
-                let age = (k.tf_c - r.tf_c) * p_hat;
-                let et = r.point_error(p_hat) + cfg.aging_rate * age;
-                let w = (-(et / e_scale).powi(2)).exp();
-                sw += w;
-                swe += w * et;
-            }
-            if sw > 0.0 {
-                self.last_err = swe / sw;
+            // (already accumulated by the fused pass above)
+            if sum_w > 0.0 {
+                self.last_err = sum_wet / sum_w;
             }
         } else {
             // carried estimates age at ε
@@ -268,7 +377,7 @@ mod tests {
     fn admit(h: &mut History, e: RawExchange, p: f64, c_bar: f64) -> PacketRecord {
         let th = crate::naive::naive_offset(&e, p, c_bar);
         h.push(e, th);
-        *h.last().unwrap()
+        h.last().unwrap()
     }
 
     fn c_bar_for(e: &RawExchange, p: f64) -> f64 {

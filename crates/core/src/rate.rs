@@ -108,14 +108,17 @@ impl GlobalRate {
     /// live history, picking up any point-error re-evaluation, then
     /// reassesses the current estimate's quality.
     fn refresh_from(&mut self, history: &History) {
+        // Stored records only ever change through baseline re-evaluation
+        // (§6.1), so refreshing a copy means re-resolving its baseline —
+        // the rest of the record is immutable.
         for slot in [&mut self.j, &mut self.i].into_iter().flatten() {
-            if let Some(fresh) = history.get(slot.idx) {
-                *slot = *fresh;
+            if let Some(fresh) = history.get_raw(slot.idx) {
+                slot.rbase_c = history.resolve_rbase(fresh);
             }
         }
         for rec in self.warmup.iter_mut() {
-            if let Some(fresh) = history.get(rec.idx) {
-                *rec = *fresh;
+            if let Some(fresh) = history.get_raw(rec.idx) {
+                rec.rbase_c = history.resolve_rbase(fresh);
             }
         }
         if let (Some(j), Some(i), Some(p)) = (self.j, self.i, self.p_hat) {
@@ -306,7 +309,7 @@ mod tests {
 
     fn feed(rate: &mut GlobalRate, h: &mut History, e: RawExchange) -> RateEvent {
         h.push(e, 0.0);
-        let r = *h.last().unwrap();
+        let r = h.last().unwrap();
         rate.process(h, &r)
     }
 
@@ -384,7 +387,7 @@ mod tests {
         bad.tb += 0.150;
         bad.te += 0.150;
         h.push(bad, 0.0);
-        let r = *h.last().unwrap();
+        let r = h.last().unwrap();
         let ev = rate.process(&h, &r);
         assert_eq!(ev, RateEvent::SanityRejected);
         assert_eq!(rate.p_hat().unwrap(), p_before);
@@ -426,7 +429,7 @@ mod tests {
         let (j_idx, _) = rate.pair_indices().unwrap();
         assert!(j_idx < 10);
         // pretend the window slid past packet 30
-        let candidate = *h.get(31).unwrap();
+        let candidate = h.get(31).unwrap();
         rate.replace_j_if_dropped(30, Some(candidate));
         let (j_idx2, _) = rate.pair_indices().unwrap();
         assert_eq!(j_idx2, 31);

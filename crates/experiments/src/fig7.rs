@@ -28,7 +28,7 @@ fn trajectory(
     let mut mark = 0usize;
     for e in &exchanges {
         hist.push(to_raw(e), 0.0);
-        let rec = *hist.last().unwrap();
+        let rec = hist.last().unwrap();
         let ev = rate.process(&hist, &rec);
         if ev == tscclock::RateEvent::Updated {
             accepted += 1;

@@ -105,8 +105,8 @@ pub fn run_clock(scenario: &Scenario, cfg: ClockConfig) -> ClockRun {
             d_fwd: e.truth.d_fwd,
             d_back: e.truth.d_back,
             d_srv: e.truth.d_srv,
-            sanity_fired: out.events.contains(&ClockEvent::OffsetSanity),
-            shift_fired: out.events.contains(&ClockEvent::UpwardShift),
+            sanity_fired: out.events.contains(ClockEvent::OffsetSanity),
+            shift_fired: out.events.contains(ClockEvent::UpwardShift),
         });
         i += 1;
     }

@@ -325,8 +325,8 @@ mod tests {
         let n = 20_000;
         let tg: Vec<f64> = (0..n).map(|i| i as f64 * 16.0).collect();
         let mut tf = Vec::with_capacity(n);
-        for i in 0..n {
-            let wander = 2e-3 * (i as f64 / n as f64 * 6.28).sin();
+        for (i, &tg_i) in tg.iter().enumerate() {
+            let wander = 2e-3 * (i as f64 / n as f64 * std::f64::consts::TAU).sin();
             let u = (i as f64 * 0.754877666) % 1.0;
             let jitter = ((i as f64 * 0.381966011).fract() - 0.5) * 3e-6;
             let mode = if u < 0.92 {
@@ -336,13 +336,13 @@ mod tests {
             } else {
                 31e-6
             };
-            tf.push(tg[i] + wander + mode + jitter);
+            tf.push(tg_i + wander + mode + jitter);
         }
         let (corr, report) = correct_side_modes_drifting(&tf, &tg, 101);
         assert_eq!(report.side_modes.len(), 2, "{:?}", report.side_modes);
         // after correction, residuals about the wander are within jitter
         for i in 200..n - 200 {
-            let wander = 2e-3 * (i as f64 / n as f64 * 6.28).sin();
+            let wander = 2e-3 * (i as f64 / n as f64 * std::f64::consts::TAU).sin();
             let res = corr[i] - tg[i] - wander;
             assert!(
                 res.abs() < 8e-6,

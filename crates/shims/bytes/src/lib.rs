@@ -1,0 +1,111 @@
+//! Local subset of the `bytes` crate: the `Buf`/`BufMut` cursor traits over
+//! plain slices, with the network-order (big-endian) accessors the NTP
+//! packet codec uses. Panics on under/overflow exactly like upstream.
+
+/// Read cursor over a byte source (implemented for `&[u8]`).
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    fn get_i8(&mut self) -> i8 {
+        self.get_u8() as i8
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.len() >= dst.len(), "buffer underflow");
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+/// Write cursor over a byte sink (implemented for `&mut [u8]`).
+pub trait BufMut {
+    fn remaining_mut(&self) -> usize;
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_i8(&mut self, v: i8) {
+        self.put_u8(v as u8);
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for &mut [u8] {
+    fn remaining_mut(&self) -> usize {
+        self.len()
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        assert!(self.len() >= src.len(), "buffer overflow");
+        let taken = std::mem::take(self);
+        let (head, tail) = taken.split_at_mut(src.len());
+        head.copy_from_slice(src);
+        *self = tail;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_network_order() {
+        let mut storage = [0u8; 13];
+        {
+            let mut w: &mut [u8] = &mut storage;
+            w.put_u8(0xAB);
+            w.put_u32(0x1234_5678);
+            w.put_u64(0x0102_0304_0506_0708);
+            assert_eq!(w.remaining_mut(), 0);
+        }
+        assert_eq!(storage[0], 0xAB);
+        assert_eq!(&storage[1..5], &[0x12, 0x34, 0x56, 0x78]);
+        let mut r: &[u8] = &storage;
+        assert_eq!(r.get_u8(), 0xAB);
+        assert_eq!(r.get_u32(), 0x1234_5678);
+        assert_eq!(r.get_u64(), 0x0102_0304_0506_0708);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let mut r: &[u8] = &[1, 2];
+        r.get_u32();
+    }
+}

@@ -1,0 +1,271 @@
+//! Minimal criterion-compatible benchmark harness.
+//!
+//! Supports the subset this workspace uses: `criterion_group!` /
+//! `criterion_main!`, benchmark groups with throughput and sample-size
+//! hints, `Bencher::iter` and `Bencher::iter_batched`, a substring filter
+//! (`cargo bench -- <filter>`), and the `--test` smoke mode that runs every
+//! bench exactly once (used by CI).
+//!
+//! Reported numbers are the mean wall-clock time per iteration over a
+//! fixed measurement budget after a short warm-up — adequate for tracking
+//! the order-of-magnitude improvements this repo's benches exist to show,
+//! with none of real criterion's statistics.
+
+use std::time::{Duration, Instant};
+
+pub use self::measurement::black_box;
+
+mod measurement {
+    /// Re-export of the std black box under criterion's historical path.
+    pub fn black_box<T>(x: T) -> T {
+        std::hint::black_box(x)
+    }
+}
+
+/// Throughput hint attached to a group: scales the per-iteration time into
+/// elements/s or bytes/s in the report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Batch-size hint for `iter_batched` (ignored: every batch has one input).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Harness configuration, parsed from the command line.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+    /// Wall-clock budget per benchmark.
+    measure_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            test_mode: false,
+            filter: None,
+            measure_budget: Duration::from_millis(700),
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies `--test` (smoke mode) and a positional substring filter, the
+    /// two things `cargo bench` / CI pass through.
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" | "-t" => self.test_mode = true,
+                "--bench" => {}
+                s if s.starts_with("--") => {}
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let cfg = self.clone();
+        run_one(&cfg, id.as_ref(), None, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample-size settings.
+pub struct BenchmarkGroup<'a> {
+    c: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        run_one(self.c, &full, self.throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F>(c: &Criterion, id: &str, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(filter) = &c.filter {
+        if !id.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        test_mode: c.test_mode,
+        budget: c.measure_budget,
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    if c.test_mode {
+        println!("test bench {id} ... ok");
+        return;
+    }
+    if b.iters == 0 {
+        println!("{id:<50} (no measurements)");
+        return;
+    }
+    let ns = b.total.as_nanos() as f64 / b.iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  thrpt: {:>12} elem/s", human(n as f64 / (ns * 1e-9)))
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  thrpt: {:>12} B/s", human(n as f64 / (ns * 1e-9)))
+        }
+        None => String::new(),
+    };
+    println!("{id:<50} time: {:>12}/iter{rate}", human_time(ns));
+}
+
+fn human(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.3} G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.3} M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.3} K", x / 1e3)
+    } else {
+        format!("{x:.1} ")
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Passed to each benchmark closure; accumulates timing.
+pub struct Bencher {
+    test_mode: bool,
+    budget: Duration,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly until the measurement budget is exhausted.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Warm-up and batch-size calibration: find an iteration count that
+        // takes ~10 ms, so timer overhead stays negligible.
+        let mut batch = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(10) || batch >= 1 << 30 {
+                break;
+            }
+            batch *= 2;
+        }
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.total += t0.elapsed();
+            self.iters += batch;
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup` (setup excluded from
+    /// the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            let input = setup();
+            black_box(routine(input));
+            return;
+        }
+        let deadline = Instant::now() + self.budget;
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.total += t0.elapsed();
+            self.iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// Declares a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary (use with `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

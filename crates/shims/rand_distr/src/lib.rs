@@ -1,0 +1,122 @@
+//! Local subset of `rand_distr`: the `Distribution` trait plus the
+//! exponential and Pareto distributions (inverse-CDF sampling), which are
+//! what the network-delay simulator draws from.
+
+use rand::RngCore;
+
+/// Types that can be sampled from a distribution.
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Invalid-parameter error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamError(pub &'static str);
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Uniform in `[0, 1)` from raw bits (object-safe over `?Sized` RNGs).
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+///
+/// Generic over the float type like upstream (`Exp<f64>`); only `f64` is
+/// implemented.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp<F = f64> {
+    lambda: F,
+}
+
+impl Exp<f64> {
+    pub fn new(lambda: f64) -> Result<Self, ParamError> {
+        if lambda.is_finite() && lambda > 0.0 {
+            Ok(Self { lambda })
+        } else {
+            Err(ParamError("Exp rate must be finite and positive"))
+        }
+    }
+}
+
+impl Distribution<f64> for Exp<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // u ∈ [0,1); 1−u ∈ (0,1] so ln is finite.
+        -(1.0 - unit_f64(rng)).ln() / self.lambda
+    }
+}
+
+/// Pareto distribution with minimum `scale` and tail index `shape`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto<F = f64> {
+    scale: F,
+    shape: F,
+}
+
+impl Pareto<f64> {
+    pub fn new(scale: f64, shape: f64) -> Result<Self, ParamError> {
+        if scale.is_finite() && scale > 0.0 && shape.is_finite() && shape > 0.0 {
+            Ok(Self { scale, shape })
+        } else {
+            Err(ParamError("Pareto scale and shape must be positive"))
+        }
+    }
+}
+
+impl Distribution<f64> for Pareto<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.scale * (1.0 - unit_f64(rng)).powf(-1.0 / self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    struct Lcg(u64);
+    impl RngCore for Lcg {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+    impl SeedableRng for Lcg {
+        type Seed = [u8; 8];
+        fn from_seed(seed: Self::Seed) -> Self {
+            Lcg(u64::from_le_bytes(seed) | 1)
+        }
+    }
+
+    #[test]
+    fn exp_mean_matches_rate() {
+        let d = Exp::new(2.0).unwrap();
+        let mut rng = Lcg::seed_from_u64(5);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn pareto_respects_scale_floor() {
+        let d = Pareto::new(3.0, 2.5).unwrap();
+        let mut rng = Lcg::seed_from_u64(9);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) >= 3.0);
+        }
+    }
+
+    #[test]
+    fn bad_params_rejected() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(f64::NAN).is_err());
+        assert!(Pareto::new(-1.0, 2.0).is_err());
+        assert!(Pareto::new(1.0, 0.0).is_err());
+    }
+}

@@ -47,7 +47,7 @@ fn main() {
         let Some(out) = clock.process(raw) else {
             continue;
         };
-        for ev in &out.events {
+        for ev in out.events.iter() {
             match ev {
                 ClockEvent::OffsetSanity | ClockEvent::UpwardShift | ClockEvent::RateSanity => {
                     println!(

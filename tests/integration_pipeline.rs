@@ -25,8 +25,8 @@ fn run(scenario: &Scenario, cfg: ClockConfig) -> (Vec<f64>, TscNtpClock, Vec<(f6
         }
         if let Some(out) = clock.process(to_raw(&e)) {
             n += 1;
-            for ev in &out.events {
-                events.push((e.poll_time, *ev));
+            for ev in out.events.iter() {
+                events.push((e.poll_time, ev));
             }
             if n > 1500 {
                 if let Some(ca) = clock.absolute_time(e.tf_tsc) {
