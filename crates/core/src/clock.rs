@@ -21,7 +21,6 @@ use crate::config::ClockConfig;
 use crate::exchange::RawExchange;
 use crate::history::History;
 use crate::local_rate::{LocalRate, LocalRateEvent};
-use crate::naive::naive_offset;
 use crate::offset::{OffsetEstimator, OffsetEvent};
 use crate::rate::{GlobalRate, RateEvent};
 use crate::shift::ShiftDetector;
@@ -250,16 +249,41 @@ impl TscNtpClock {
         Some(self.process_admitted(ex))
     }
 
+    /// Feeds a batch of completed exchanges through the pipeline, appending
+    /// one [`ProcessOutput`] per produced estimate to `out`; returns how
+    /// many were appended.
+    ///
+    /// Results are **bit-identical** to calling [`TscNtpClock::process`] in
+    /// a loop — the batch form is the fleet-replay ingest path: it reuses
+    /// one output buffer across a whole shard (allocation-free once `out`
+    /// has warmed up to the batch size) and keeps the per-packet fixed
+    /// costs (the lazily-stamped rate-pair refresh, the parked shift
+    /// detector) in cache across consecutive packets of the same clock.
+    pub fn process_batch(&mut self, exchanges: &[RawExchange], out: &mut Vec<ProcessOutput>) -> usize {
+        let before = out.len();
+        out.reserve(exchanges.len());
+        for ex in exchanges {
+            if let Some(o) = self.process(*ex) {
+                out.push(o);
+            }
+        }
+        out.len() - before
+    }
+
     /// The main pipeline for a packet once estimates can exist.
     fn process_admitted(&mut self, ex: RawExchange) -> ProcessOutput {
         let mut events = EventSet::empty();
         let p_before = self.rate.p_hat().expect("rate bootstrapped");
 
-        // θ̂ᵢ with the *current* clock (p̂, C̄): equation (19).
-        let theta_naive = naive_offset(&ex, p_before, self.c_bar);
+        // θ̂ᵢ with the *current* clock (p̂, C̄): equation (19), with the
+        // midpoints kept for the history record so they are computed
+        // exactly once per packet.
+        let hm_c = ex.host_midpoint_counts();
+        let sm = ex.server_midpoint();
+        let theta_naive = crate::naive::naive_offset_parts(hm_c, sm, p_before, self.c_bar);
 
         // 1. Admit to history; r̂ maintenance; top-window slide.
-        let (idx, outcome) = self.history.push(ex, theta_naive);
+        let (idx, outcome) = self.history.push_parts(ex, theta_naive, hm_c, sm);
         if outcome.new_minimum {
             events.insert(ClockEvent::NewRttMinimum);
         }
@@ -758,6 +782,40 @@ mod tests {
         assert_eq!(listed, vec![ClockEvent::RateUpdated, ClockEvent::WindowSlid]);
         let rebuilt: EventSet = listed.into_iter().collect();
         assert_eq!(rebuilt, s);
+    }
+
+    #[test]
+    fn process_batch_is_bit_identical_to_loop() {
+        // the batched ingest path must be indistinguishable from per-packet
+        // calls: same outputs (bit-for-bit), same final state, across
+        // varied batch sizes and with malformed packets interleaved
+        let exchanges: Vec<RawExchange> = (0..700u64)
+            .map(|k| {
+                let q = if k % 7 == 0 { 2e-3 } else { 25e-6 };
+                let mut e = ex(k as f64 * 16.0, q * 0.7, q * 0.3, 0.0);
+                if k % 97 == 0 {
+                    e.tf_tsc = e.ta_tsc; // malformed: rejected by causality
+                }
+                e
+            })
+            .collect();
+        let mut seq = clock();
+        let expected: Vec<ProcessOutput> =
+            exchanges.iter().filter_map(|e| seq.process(*e)).collect();
+        for chunk in [1usize, 3, 64, 700] {
+            let mut batched = clock();
+            let mut out = Vec::new();
+            let mut appended = 0;
+            for c in exchanges.chunks(chunk) {
+                appended += batched.process_batch(c, &mut out);
+            }
+            assert_eq!(appended, out.len());
+            assert_eq!(out.len(), expected.len(), "chunk {chunk}");
+            for (a, b) in out.iter().zip(&expected) {
+                assert_eq!(a, b, "chunk {chunk}");
+            }
+            assert_eq!(batched.status(), seq.status(), "chunk {chunk}");
+        }
     }
 
     #[test]

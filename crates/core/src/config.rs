@@ -7,6 +7,10 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Minimum upward-shift detection window in packets (see
+/// [`ClockConfig::ts_packets`]).
+pub const MIN_TS_PACKETS: usize = 16;
+
 /// Full parameter set of the TSC-NTP clock.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]
 pub struct ClockConfig {
@@ -109,8 +113,22 @@ impl ClockConfig {
     }
 
     /// Packet count of the upward-shift window Ts.
+    ///
+    /// §6.2 requires detection to be "deliberately slow and conservative":
+    /// a window of `Ts = τ̄/2` holds 156 packets at the paper's 16 s
+    /// polling. The §6.1 packet-count conversion must not be allowed to
+    /// collapse that to a couple of packets at coarse polling periods —
+    /// with a 2-packet window *any* two consecutive congested exchanges
+    /// (point errors above 4E, a few percent of traffic) confirm a false
+    /// upward shift, exactly the misdetection the paper calls "critical"
+    /// ("falsely interpreting congestion as an upward shift immediately
+    /// corrupts estimates"). At 1024 s polling this fired hundreds of
+    /// times per simulated month and the re-basing churn dominated the
+    /// replay cost. The floor keeps the false-confirmation probability
+    /// negligible (≈ q¹⁶ for per-packet congestion probability q) while
+    /// still detecting any shift sustained for 16 polls.
     pub fn ts_packets(&self) -> usize {
-        self.window_packets(self.ts_window)
+        self.window_packets(self.ts_window).max(MIN_TS_PACKETS)
     }
 
     /// Packet count of the top-level window T.

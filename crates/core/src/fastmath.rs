@@ -130,7 +130,13 @@ pub fn weight_pass(pe: &[f64], tf: &[f64], hm: &[f64], sm: &[f64], c: &WeightCon
     debug_assert!(pe.len() == tf.len() && pe.len() == hm.len() && pe.len() == sm.len());
     #[cfg(target_arch = "x86_64")]
     {
-        if std::arch::is_x86_feature_detected!("avx2")
+        // Below one vector group the AVX2 path would broadcast its ~15
+        // constants and then run the scalar tail anyway; going straight to
+        // the scalar loop is bit-identical (the vector lanes contribute
+        // identity elements for n < 4) and matters at coarse polling,
+        // where the whole τ′ window is a handful of packets.
+        if pe.len() >= 4
+            && std::arch::is_x86_feature_detected!("avx2")
             && std::arch::is_x86_feature_detected!("fma")
         {
             // SAFETY: feature presence checked at runtime just above.

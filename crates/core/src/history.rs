@@ -228,6 +228,19 @@ impl History {
     ///
     /// Returns the new record's index and what happened to the window.
     pub fn push(&mut self, ex: RawExchange, theta: f64) -> (u64, PushOutcome) {
+        self.push_parts(ex, theta, ex.host_midpoint_counts(), ex.server_midpoint())
+    }
+
+    /// [`History::push`] with the midpoints already computed — the clock's
+    /// hot path derives the naive offset from them immediately beforehand,
+    /// so recomputing them here would be pure waste.
+    pub(crate) fn push_parts(
+        &mut self,
+        ex: RawExchange,
+        theta: f64,
+        hm_c: f64,
+        sm: f64,
+    ) -> (u64, PushOutcome) {
         let idx = self.next_idx;
         self.next_idx += 1;
         let rtt_c = ex.rtt_counts() as f64;
@@ -295,8 +308,8 @@ impl History {
             rbase_c: self.rtt_min_c,
             era,
             epoch,
-            hm_c: ex.host_midpoint_counts(),
-            sm: ex.server_midpoint(),
+            hm_c,
+            sm,
             theta,
         });
         (idx, PushOutcome {

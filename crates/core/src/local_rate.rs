@@ -32,8 +32,12 @@ pub enum LocalRateEvent {
 pub struct LocalRate {
     /// Window length in packets (τ̄ / poll).
     n_bar: usize,
-    /// Split factor W.
-    w_split: usize,
+    /// Near sub-window width in packets, τ̄/W (precomputed: pure config).
+    near_n: usize,
+    /// Far sub-window width in packets, 2τ̄/W (precomputed).
+    far_n: usize,
+    /// Total span τ̄(W+1)/W in packets (precomputed).
+    span: usize,
     /// Target quality γ*.
     gamma_star: f64,
     /// Step sanity bound (3·10⁻⁷).
@@ -76,9 +80,12 @@ impl LocalRate {
         freshness_seconds: f64,
     ) -> Self {
         assert!(w_split >= 3, "W must be at least 3");
+        let n_bar = n_bar.max(w_split);
         Self {
-            n_bar: n_bar.max(w_split),
-            w_split,
+            n_bar,
+            near_n: (n_bar / w_split).max(1),
+            far_n: (2 * n_bar / w_split).max(1),
+            span: n_bar + n_bar / w_split,
             gamma_star,
             rate_sanity,
             activate_after,
@@ -126,9 +133,7 @@ impl LocalRate {
         // window is the *oldest* part of the (τ̄(W+1)/W)-long span. The
         // sub-windows are read directly out of the history ring — no
         // per-packet buffer is collected.
-        let near_n = (self.n_bar / self.w_split).max(1);
-        let far_n = (2 * self.n_bar / self.w_split).max(1);
-        let span = self.n_bar + self.n_bar / self.w_split; // τ̄(W+1)/W
+        let (near_n, far_n, span) = (self.near_n, self.far_n, self.span);
         let len = history.len();
         let w = len.min(span);
         if w < near_n + far_n + 1 {
@@ -147,6 +152,29 @@ impl LocalRate {
         let near_lo = k_idx + 1 - near_n as u64;
         let gen = history.rebase_gen();
         let view = history.baseline_view();
+        // Coarse-polling fast path: when both sub-windows are at most two
+        // packets wide (poll periods near or above τ̄/W), the rolling
+        // argmin deques cost more than reading the sub-windows directly.
+        // Earliest-on-ties selection matches the deque front exactly.
+        if near_n == 1 && far_n <= 2 {
+            let earliest_min = |lo: u64, n: usize| -> (u64, f64) {
+                let first = history.get_raw(lo).expect("retained");
+                let mut best = (lo, first.rtt_c - view.resolve(first));
+                for idx in lo + 1..lo + n as u64 {
+                    let r = history.get_raw(idx).expect("retained");
+                    let key = r.rtt_c - view.resolve(r);
+                    if key < best.1 {
+                        best = (idx, key);
+                    }
+                }
+                best
+            };
+            let (far_idx, far_key) = earliest_min(far_lo, far_n);
+            let near_key = k.rtt_c - view.resolve(k);
+            // The deques are no longer consistent with the sub-windows.
+            self.synced = false;
+            return self.judge(history, k, p_ref, far_idx, far_key, k_idx, near_key);
+        }
         if self.synced
             && self.keys_gen == gen
             && self.last_k_idx.wrapping_add(1) == k_idx
@@ -184,6 +212,22 @@ impl LocalRate {
         self.last_k_idx = k_idx;
         let &(far_idx, far_key) = self.far_q.front().expect("non-empty far window");
         let &(near_idx, near_key) = self.near_q.front().expect("non-empty near window");
+        self.judge(history, k, p_ref, far_idx, far_key, near_idx, near_key)
+    }
+
+    /// The §5.2 acceptance chain on the selected sub-window minima: pair
+    /// estimate, γ* quality gate, 3·10⁻⁷ step sanity.
+    #[allow(clippy::too_many_arguments)]
+    fn judge(
+        &mut self,
+        history: &History,
+        k: &PacketRecord,
+        p_ref: f64,
+        far_idx: u64,
+        far_key: f64,
+        near_idx: u64,
+        near_key: f64,
+    ) -> LocalRateEvent {
         if near_idx == far_idx {
             return self.duplicate(k, LocalRateEvent::QualityDuplicated);
         }

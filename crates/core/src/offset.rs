@@ -20,6 +20,10 @@
 use crate::config::ClockConfig;
 use crate::history::{History, PacketRecord};
 
+/// Window sizes up to this bypass the rolling ring cache and resolve the
+/// τ′ window directly into stack buffers (the coarse-polling fast path).
+const SMALL_WINDOW: usize = 4;
+
 /// Events from an offset update.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OffsetEvent {
@@ -48,6 +52,14 @@ pub struct OffsetEstimator {
     last_err: f64,
     /// Consecutive sanity duplications (lock-out escape counter).
     sanity_run: u32,
+    /// Cached `(poll_period, tau_prime)` the derived counts below were
+    /// computed from — the config is fixed per clock, so this avoids two
+    /// divisions per packet re-deriving constants.
+    cached_cfg: (f64, f64),
+    /// `cfg.tau_prime_packets()` for `cached_cfg`.
+    cached_window_n: usize,
+    /// The sanity-run patience bound for `cached_cfg`.
+    cached_max_run: u32,
     /// Rolling structure-of-arrays cache of the τ′ window (see
     /// [`WindowCache`]): per-record invariants laid out densely so the
     /// weight kernel streams contiguous arrays instead of striding the
@@ -152,6 +164,9 @@ impl OffsetEstimator {
             last_tfc: f64::NAN,
             last_err: f64::INFINITY,
             sanity_run: 0,
+            cached_cfg: (f64::NAN, f64::NAN),
+            cached_window_n: 0,
+            cached_max_run: 0,
             cache: WindowCache::default(),
         }
     }
@@ -211,7 +226,12 @@ impl OffsetEstimator {
     ) -> (f64, OffsetEvent) {
         let theta_of = |r: &PacketRecord| r.hm_c * p_hat + c_bar - r.sm;
         let e_scale = cfg.quality_scale * if warmup { 3.0 } else { 1.0 };
-        let window_n = cfg.tau_prime_packets();
+        if self.cached_cfg != (cfg.poll_period, cfg.tau_prime) {
+            self.cached_cfg = (cfg.poll_period, cfg.tau_prime);
+            self.cached_window_n = cfg.tau_prime_packets();
+            self.cached_max_run = (2 * cfg.tau_prime_packets()).max(64) as u32;
+        }
+        let window_n = self.cached_window_n;
         // Equation (21): θ̂(t) = Σ wᵢ (θ̂ᵢ − γ̂l (Cd(t) − Cd(Tf,i))) / Σ wᵢ
         // (with γ̂l = 0 this is equation (20)). The per-packet correction
         // projects each stored θ̂ᵢ forward by the residual rate over its age.
@@ -230,9 +250,7 @@ impl OffsetEstimator {
         // accumulation keeps each loop free of calls and branches so the
         // compiler can vectorize them.
         let g = gamma_l.unwrap_or(0.0);
-        self.cache.sync(history, k, window_n);
-        let n = self.cache.len.min(window_n).min(history.len());
-        // One fused pass per contiguous cache range: total errors, weights
+        // One fused pass over the window: total errors, weights
         // (exponentials evaluated in registers), weighted sums and the
         // window minimum, with no intermediate buffers. See
         // `fastmath::weight_pass` for the kernel and its accuracy contract.
@@ -244,16 +262,50 @@ impl OffsetEstimator {
             c_bar,
             g,
         };
-        let (r1, r2) = self.cache.ranges(n);
         let mut sums = crate::fastmath::WeightSums::identity();
-        for rng in [r1, r2] {
+        if window_n <= SMALL_WINDOW {
+            // Coarse-polling fast path: with a handful of packets in τ′ the
+            // rolling ring cache costs more than resolving the window
+            // directly off the history tail into stack buffers. Baseline
+            // resolution is a pure function of (record, rebase generation),
+            // so the values — and the one contiguous kernel pass over them
+            // — are the ones the cache would have produced.
+            let view = history.baseline_view();
+            let mut pe_c = [0.0; SMALL_WINDOW];
+            let mut tf_c = [0.0; SMALL_WINDOW];
+            let mut hm_c = [0.0; SMALL_WINDOW];
+            let mut sm = [0.0; SMALL_WINDOW];
+            let mut n = 0usize;
+            for r in history.tail_raw(window_n) {
+                pe_c[n] = r.rtt_c - view.resolve(r);
+                tf_c[n] = r.tf_c;
+                hm_c[n] = r.hm_c;
+                sm[n] = r.sm;
+                n += 1;
+            }
             sums.absorb(crate::fastmath::weight_pass(
-                &self.cache.pe_c[rng.clone()],
-                &self.cache.tf_c[rng.clone()],
-                &self.cache.hm_c[rng.clone()],
-                &self.cache.sm[rng],
+                &pe_c[..n],
+                &tf_c[..n],
+                &hm_c[..n],
+                &sm[..n],
                 &consts,
             ));
+        } else {
+            self.cache.sync(history, k, window_n);
+            let n = self.cache.len.min(window_n).min(history.len());
+            let (r1, r2) = self.cache.ranges(n);
+            for rng in [r1, r2] {
+                if rng.is_empty() {
+                    continue;
+                }
+                sums.absorb(crate::fastmath::weight_pass(
+                    &self.cache.pe_c[rng.clone()],
+                    &self.cache.tf_c[rng.clone()],
+                    &self.cache.hm_c[rng.clone()],
+                    &self.cache.sm[rng],
+                    &consts,
+                ));
+            }
         }
         let (sum_w, sum_wth, sum_wet, min_et) =
             (sums.sum_w, sums.sum_wth, sums.sum_wet, sums.min_et);
@@ -305,7 +357,7 @@ impl OffsetEstimator {
         // server is the only absolute reference there is) — accept rather
         // than duplicate a stale value forever. Fallback packets carry the
         // previous value, so they neither trigger nor clear the counter.
-        let max_run = (2 * cfg.tau_prime_packets()).max(64) as u32;
+        let max_run = self.cached_max_run;
         let theta_new = match self.theta {
             // §6.1: the check guards a *converged* clock ("the expected
             // offset increment between neighboring packets"); during warm-up

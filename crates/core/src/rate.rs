@@ -48,6 +48,14 @@ pub struct GlobalRate {
     /// Error bound of the current estimate, `(Ei + Ej)/Δt`.
     quality: f64,
     n_seen: u64,
+    /// Inputs of the last pair refresh: `(History::rebase_gen, p̂ bits,
+    /// j idx, i idx)`. The refresh is a pure function of these (baseline
+    /// resolution depends only on the re-basing generation; the quality
+    /// reassessment only on the pair and `p̂`), so when the stamp matches,
+    /// re-running it would reproduce the stored state bit-for-bit and it
+    /// is skipped — the coarse-poll fast path, where congested (quality-
+    /// rejected) packets leave the whole stamp untouched.
+    refresh_stamp: (u64, u64, u64, u64),
 }
 
 impl GlobalRate {
@@ -64,6 +72,7 @@ impl GlobalRate {
             p_hat: None,
             quality: f64::INFINITY,
             n_seen: 0,
+            refresh_stamp: (u64::MAX, u64::MAX, u64::MAX, u64::MAX),
         }
     }
 
@@ -108,6 +117,20 @@ impl GlobalRate {
     /// live history, picking up any point-error re-evaluation, then
     /// reassesses the current estimate's quality.
     fn refresh_from(&mut self, history: &History) {
+        // Fast path: nothing the refresh reads has changed since it last
+        // ran, so its outputs are already in place (see `refresh_stamp`).
+        // The warm-up record list is refreshed unconditionally while it
+        // exists — it is dropped at the end of warm-up.
+        let stamp = (
+            history.rebase_gen(),
+            self.p_hat.map_or(u64::MAX, f64::to_bits),
+            self.j.map_or(u64::MAX, |r| r.idx),
+            self.i.map_or(u64::MAX, |r| r.idx),
+        );
+        if self.warmup.is_empty() && stamp == self.refresh_stamp {
+            return;
+        }
+        self.refresh_stamp = stamp;
         // Stored records only ever change through baseline re-evaluation
         // (§6.1), so refreshing a copy means re-resolving its baseline —
         // the rest of the record is immutable.

@@ -9,8 +9,31 @@
 //! minimum `r̂l` over a large sliding window `Ts = τ̄/2` must exceed `r̂` by
 //! more than `4E` before a shift is declared — at which point it is dated
 //! back to the start of the window.
-
-use tsc_stats::SlidingMin;
+//!
+//! # The quiescent fast path
+//!
+//! The dense implementation (a monotonic-deque sliding minimum, still
+//! available as [`tsc_stats::SlidingMin`]) pays deque maintenance on every
+//! packet even though detection is impossible for almost all of them. This
+//! detector instead exploits the structure of the decision rule: a shift
+//! can only be declared when *every* sample in the window exceeds the
+//! detection level `r̂ + 4E`, so a single sample at or below the level
+//! **parks** the detector for a full window length — while that sample is
+//! retained, the window minimum cannot exceed the level. Per packet the
+//! fast path is one ring-buffer store and two compares; the O(Ts) window
+//! minimum is evaluated only while every retained sample individually
+//! exceeded the level at admission (a genuine shift candidate, or sustained
+//! heavy congestion — both rare by construction).
+//!
+//! The park decision classifies each sample against the detection level
+//! *at admission*, whereas the dense detector re-evaluates the window
+//! minimum against the current `(r̂, p̂)` every packet. The two agree
+//! exactly whenever `(r̂, p̂)` are constant across the window: `r̂` provably
+//! is (it can only decrease via a sample that itself re-parks the
+//! detector), and `p̂` drifts by at most ~1e-7 relative per window after
+//! warm-up, so a disagreement needs a sample within ~1e-7·4E ≈ 10 ps of
+//! the threshold — far below the 15 µs timestamping granularity the
+//! threshold is calibrated in units of.
 
 /// A confirmed upward shift.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -22,12 +45,22 @@ pub struct UpwardShift {
     pub start_idx: u64,
 }
 
-/// Sliding-window upward-shift detector.
+/// Sliding-window upward-shift detector with a quiescent fast path.
 #[derive(Debug, Clone)]
 pub struct ShiftDetector {
-    window: SlidingMin,
     threshold: f64,
     ts_packets: usize,
+    /// Ring of the last `ts_packets` RTT samples (counts).
+    ring: Vec<f64>,
+    /// Next ring slot to write (wrapping cursor — cheaper than indexing by
+    /// `seq % ts`, which costs a hardware division per packet).
+    cursor: usize,
+    /// Samples observed since the last [`ShiftDetector::reset`].
+    seq: u64,
+    /// No detection is possible before this sequence number: the horizon
+    /// until which the most recent at-or-below-level sample stays in the
+    /// window.
+    parked_until: u64,
 }
 
 impl ShiftDetector {
@@ -35,10 +68,14 @@ impl ShiftDetector {
     /// detection level `4E` in seconds.
     pub fn new(ts_packets: usize, threshold: f64) -> Self {
         assert!(threshold > 0.0, "threshold must be positive");
+        let ts = ts_packets.max(2);
         Self {
-            window: SlidingMin::new(ts_packets.max(2)),
             threshold,
-            ts_packets: ts_packets.max(2),
+            ts_packets: ts,
+            ring: vec![f64::INFINITY; ts],
+            cursor: 0,
+            seq: 0,
+            parked_until: 0,
         }
     }
 
@@ -55,16 +92,34 @@ impl ShiftDetector {
         rtt_min_c: f64,
         p_hat: f64,
     ) -> Option<UpwardShift> {
-        self.window.push(rtt_c);
-        if !self.window.full() {
+        if rtt_c.is_nan() {
+            // Missing data does not consume a window slot.
             return None;
         }
-        let local_min_c = self.window.get()?;
+        let ts = self.ts_packets as u64;
+        self.ring[self.cursor] = rtt_c;
+        self.cursor += 1;
+        if self.cursor == self.ts_packets {
+            self.cursor = 0;
+        }
+        self.seq += 1;
+        // Fast path: a sample at or below the detection level caps the
+        // window minimum for as long as it is retained.
+        if (rtt_c - rtt_min_c) * p_hat <= self.threshold {
+            self.parked_until = self.seq + ts;
+            return None;
+        }
+        if self.seq < ts || self.seq < self.parked_until {
+            return None;
+        }
+        // Every retained sample exceeded the level at admission: evaluate
+        // the exact decision rule on the window minimum.
+        let local_min_c = self.ring.iter().copied().fold(f64::INFINITY, f64::min);
         let excess = (local_min_c - rtt_min_c) * p_hat;
         if excess > self.threshold {
             Some(UpwardShift {
                 new_min_c: local_min_c,
-                start_idx: idx.saturating_sub(self.ts_packets as u64 - 1),
+                start_idx: idx.saturating_sub(ts - 1),
             })
         } else {
             None
@@ -74,7 +129,11 @@ impl ShiftDetector {
     /// Clears the window after a confirmed shift has been applied, so the
     /// same evidence is not reused.
     pub fn reset(&mut self) {
-        self.window.clear();
+        self.seq = 0;
+        self.cursor = 0;
+        self.parked_until = 0;
+        // Ring contents are stale but unreachable: no detection can happen
+        // until `ts_packets` fresh samples have overwritten every slot.
     }
 
     /// Window length in packets.
@@ -169,5 +228,133 @@ mod tests {
         d.reset();
         // after reset the window must refill before another detection
         assert!(d.observe(10, 1_900_000.0, 1_900_000.0, P).is_none());
+    }
+
+    #[test]
+    fn detection_value_is_window_minimum_not_level() {
+        // the confirmed shift carries the *minimum* of the suspicious
+        // window, not the first or last sample
+        let mut d = ShiftDetector::new(4, 240e-6);
+        let samples = [1_950_000.0, 1_900_000.0, 1_920_000.0, 1_980_000.0];
+        let mut fired = None;
+        for (i, &r) in samples.iter().enumerate() {
+            fired = d.observe(i as u64, r, 1_000_000.0, P);
+        }
+        let s = fired.expect("all-high window must fire");
+        assert_eq!(s.new_min_c, 1_900_000.0);
+        assert_eq!(s.start_idx, 0);
+    }
+
+    #[test]
+    fn park_expires_after_exactly_one_window() {
+        // a single low sample parks the detector for ts packets; the shift
+        // is declared on the first check after it leaves the window
+        let ts = 6;
+        let mut d = ShiftDetector::new(ts, 240e-6);
+        for i in 0..10u64 {
+            assert!(d.observe(i, 1_900_000.0, 1_000_000.0, P).is_none() || i >= 5);
+        }
+        d.reset();
+        // refill, then one low sample mid-run
+        let mut fire_at = None;
+        for i in 0..30u64 {
+            let rtt = if i == 3 { 1_000_000.0 } else { 1_900_000.0 };
+            if d.observe(i, rtt, 1_000_000.0, P).is_some() {
+                fire_at = Some(i);
+                break;
+            }
+        }
+        // low sample at seq 3 is retained for checks through seq 3+ts;
+        // first possible fire is the packet after it expires
+        assert_eq!(fire_at, Some(3 + ts as u64));
+    }
+
+    #[test]
+    fn matches_dense_sliding_min_detector() {
+        // Differential check against the dense SlidingMin formulation on a
+        // noisy series with a genuine shift (fixed p̂/r̂, where the two are
+        // exactly equivalent).
+        let ts = 8;
+        let thresh = 240e-6;
+        let mut fast = ShiftDetector::new(ts, thresh);
+        let mut dense = tsc_stats::SlidingMin::new(ts);
+        let min_c = 1_000_000.0;
+        let mut state = 0x9E37_79B9_u64;
+        let mut noise = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) % 1_000_000) as f64
+        };
+        for i in 0..5_000u64 {
+            let shift = if i >= 3_000 { 600_000.0 } else { 0.0 };
+            let rtt = min_c + shift + noise();
+            let got = fast.observe(i, rtt, min_c, P);
+            dense.push(rtt);
+            let want = if dense.full() {
+                let lm = dense.get().unwrap();
+                ((lm - min_c) * P > thresh).then_some(lm)
+            } else {
+                None
+            };
+            assert_eq!(got.map(|s| s.new_min_c), want, "divergence at {i}");
+            if let Some(s) = got {
+                assert_eq!(s.start_idx, i - (ts as u64 - 1));
+                fast.reset();
+                dense.clear();
+            }
+        }
+    }
+
+    #[test]
+    fn matches_dense_detector_under_drifting_p_hat_and_r_hat() {
+        // The parked detector classifies samples at admission while the
+        // dense one re-evaluates the window minimum against the *current*
+        // (r̂, p̂) every packet. The module docs argue the two can only
+        // disagree on a sample within ~p̂-drift of the detection level
+        // (picoseconds); this test drives both through the regimes the
+        // fixed-parameter test above excludes — p̂ wandering ±0.1 PPM per
+        // packet and r̂ stepping downward mid-stream — on integer-count
+        // samples that keep every window minimum well clear of that
+        // hairline, where they must still agree packet for packet.
+        let ts = 6;
+        let thresh = 240e-6;
+        let mut fast = ShiftDetector::new(ts, thresh);
+        let mut dense = tsc_stats::SlidingMin::new(ts);
+        let mut state = 0xC0FF_EE00_u64;
+        let mut rand = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(7);
+            state >> 33
+        };
+        let mut min_c = 1_000_000.0f64;
+        for i in 0..20_000u64 {
+            // p̂ wanders within ±0.1 PPM of nominal, changing every packet.
+            let p = P * (1.0 + ((rand() % 2001) as f64 - 1000.0) * 1e-10);
+            // Occasional new minima drag r̂ down; a long all-high episode
+            // after packet 12k exercises detection with a drifted p̂.
+            let r = rand() % 1000;
+            let rtt = if (12_000..12_600).contains(&i) {
+                min_c + 400_000.0 + r as f64 // sustained +0.4 ms excess
+            } else if r < 10 {
+                min_c - 1.0 // new minimum
+            } else {
+                min_c + (r * 500) as f64 // noise up to ~0.5 ms over r̂
+            };
+            if rtt < min_c {
+                min_c = rtt;
+            }
+            let got = fast.observe(i, rtt, min_c, p);
+            dense.push(rtt);
+            let want = if dense.full() {
+                let lm = dense.get().unwrap();
+                ((lm - min_c) * p > thresh).then_some(lm)
+            } else {
+                None
+            };
+            assert_eq!(got.map(|s| s.new_min_c), want, "divergence at {i}");
+            if got.is_some() {
+                fast.reset();
+                dense.clear();
+                min_c += 400_000.0; // the caller would re-base r̂ upward
+            }
+        }
     }
 }

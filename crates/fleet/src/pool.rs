@@ -1,0 +1,323 @@
+//! A hand-rolled chunked work-claiming thread pool on `std` primitives.
+//!
+//! The build environment has no crates.io access, so this is the few
+//! hundred lines of `rayon` this workspace actually needs: N parked worker
+//! threads, one batch of independent items at a time, and an atomic cursor
+//! from which workers (and the submitting thread itself) claim chunks of
+//! items until the batch is drained. Claiming is the degenerate-but-
+//! sufficient form of work stealing for identical independent items: every
+//! thread steals from one shared pile, so load imbalance self-corrects at
+//! chunk granularity without per-worker deques.
+//!
+//! # Determinism
+//!
+//! [`WorkerPool::run`] evaluates a pure-per-item function `f(i)` and
+//! writes each result into the slot `i` of the output vector. Which thread
+//! evaluates which item is scheduling-dependent; the *results* are not, so
+//! the output is identical for every thread count — the property the fleet
+//! parity tests pin down.
+//!
+//! # Batch isolation
+//!
+//! All claiming state (cursor, remaining-count, panic flag) lives in a
+//! per-batch [`BatchState`] behind an `Arc`. A worker that wakes late and
+//! grabs a finished batch spins once on an exhausted cursor and goes back
+//! to sleep; it can never claim items of a newer batch through a stale
+//! task, because a new batch brings a new state object.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// The per-item work of one batch, type-erased for the worker loop.
+type Task = Arc<dyn Fn(usize) + Send + Sync>;
+
+/// Claiming state of one batch.
+struct BatchState {
+    task: Task,
+    items: usize,
+    chunk: usize,
+    /// Next unclaimed item.
+    cursor: AtomicUsize,
+    /// Items not yet completed (0 = batch done).
+    remaining: AtomicUsize,
+    /// Set when any item panicked; once set, remaining items are claimed
+    /// but not executed (fail fast), and the submitter re-raises.
+    panicked: AtomicBool,
+    /// The first panic's payload, re-raised via `resume_unwind` so the
+    /// original message (e.g. which clock replay failed, and why) is not
+    /// replaced by a generic one.
+    panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+struct PoolState {
+    /// Current batch and its generation number (workers run each batch
+    /// exactly once).
+    batch: Option<(u64, Arc<BatchState>)>,
+    gen: u64,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Workers park here waiting for a new batch (or shutdown).
+    work_cv: Condvar,
+    /// The submitter parks here waiting for `remaining == 0`.
+    done_cv: Condvar,
+}
+
+/// See the module docs.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// A pool with `threads` total lanes of parallelism: the submitting
+    /// thread participates in every batch, so `threads - 1` workers are
+    /// spawned. `threads = 1` is fully sequential (no worker threads, no
+    /// synchronization on the work path beyond one uncontended cursor).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                batch: None,
+                gen: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let workers = (1..threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || Self::worker_loop(&shared))
+            })
+            .collect();
+        Self {
+            shared,
+            workers,
+            threads,
+        }
+    }
+
+    /// Total lanes of parallelism (including the submitting thread).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn worker_loop(shared: &Shared) {
+        let mut seen_gen = 0u64;
+        loop {
+            let batch = {
+                let mut st = shared.state.lock().expect("pool lock");
+                loop {
+                    if st.shutdown {
+                        return;
+                    }
+                    if let Some((gen, b)) = &st.batch {
+                        if *gen != seen_gen {
+                            seen_gen = *gen;
+                            break Arc::clone(b);
+                        }
+                    }
+                    st = shared.work_cv.wait(st).expect("pool lock");
+                }
+            };
+            Self::drain(shared, &batch);
+        }
+    }
+
+    /// Claims and runs chunks of `batch` until its cursor is exhausted.
+    fn drain(shared: &Shared, batch: &BatchState) {
+        loop {
+            let start = batch.cursor.fetch_add(batch.chunk, Ordering::Relaxed);
+            if start >= batch.items {
+                return;
+            }
+            let end = (start + batch.chunk).min(batch.items);
+            for i in start..end {
+                // After a panic, keep claiming (the completion count must
+                // still reach zero) but stop doing work.
+                if batch.panicked.load(Ordering::Relaxed) {
+                    continue;
+                }
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (batch.task)(i))) {
+                    let mut slot = batch.panic_payload.lock().expect("payload lock");
+                    slot.get_or_insert(payload);
+                    batch.panicked.store(true, Ordering::Release);
+                }
+            }
+            if batch.remaining.fetch_sub(end - start, Ordering::AcqRel) == end - start {
+                // Last items of the batch: wake the submitter. Taking the
+                // lock orders the notification against its wait.
+                let _st = shared.state.lock().expect("pool lock");
+                shared.done_cv.notify_all();
+            }
+        }
+    }
+
+    /// Evaluates `f(0..items)` across the pool in chunks of `chunk` items
+    /// and returns the results in item order. Blocks until the batch is
+    /// complete; the calling thread works too.
+    ///
+    /// # Panics
+    /// Re-raises (as a panic) if any item panicked.
+    pub fn run<R, F>(&mut self, items: usize, chunk: usize, f: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(usize) -> R + Send + Sync + 'static,
+    {
+        if items == 0 {
+            return Vec::new();
+        }
+        let slots: Arc<Vec<Mutex<Option<R>>>> =
+            Arc::new((0..items).map(|_| Mutex::new(None)).collect());
+        let task: Task = {
+            let slots = Arc::clone(&slots);
+            Arc::new(move |i| {
+                let r = f(i);
+                *slots[i].lock().expect("slot lock") = Some(r);
+            })
+        };
+        let batch = Arc::new(BatchState {
+            task,
+            items,
+            chunk: chunk.max(1),
+            cursor: AtomicUsize::new(0),
+            remaining: AtomicUsize::new(items),
+            panicked: AtomicBool::new(false),
+            panic_payload: Mutex::new(None),
+        });
+        {
+            let mut st = self.shared.state.lock().expect("pool lock");
+            st.gen = st.gen.wrapping_add(1);
+            st.batch = Some((st.gen, Arc::clone(&batch)));
+            self.shared.work_cv.notify_all();
+        }
+        Self::drain(&self.shared, &batch);
+        {
+            let mut st = self.shared.state.lock().expect("pool lock");
+            while batch.remaining.load(Ordering::Acquire) != 0 {
+                st = self.shared.done_cv.wait(st).expect("pool lock");
+            }
+            // Retire the batch so late-waking workers see nothing to do.
+            st.batch = None;
+        }
+        if batch.panicked.load(Ordering::Acquire) {
+            let payload = batch
+                .panic_payload
+                .lock()
+                .expect("payload lock")
+                .take()
+                .expect("panicked flag implies a stored payload");
+            std::panic::resume_unwind(payload);
+        }
+        slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                s.lock()
+                    .expect("slot lock")
+                    .take()
+                    .unwrap_or_else(|| panic!("item {i} produced no result"))
+            })
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool lock");
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computes_all_items_in_order() {
+        for threads in [1, 2, 4, 8] {
+            for chunk in [1, 3, 100] {
+                let mut pool = WorkerPool::new(threads);
+                let out = pool.run(257, chunk, |i| i * i);
+                assert_eq!(out.len(), 257);
+                for (i, v) in out.iter().enumerate() {
+                    assert_eq!(*v, i * i, "threads {threads} chunk {chunk}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_batches() {
+        let mut pool = WorkerPool::new(4);
+        for round in 0..50usize {
+            let out = pool.run(round + 1, 2, move |i| i + round);
+            assert_eq!(out.len(), round + 1);
+            assert_eq!(out[round], 2 * round);
+        }
+    }
+
+    #[test]
+    fn zero_items_is_a_noop() {
+        let mut pool = WorkerPool::new(4);
+        let out: Vec<usize> = pool.run(0, 1, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let work = |i: usize| {
+            // irregular per-item cost to force interleaved claiming
+            let mut acc = i as u64;
+            for k in 0..(i % 7) * 1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k as u64);
+            }
+            acc
+        };
+        let mut reference: Option<Vec<u64>> = None;
+        for threads in [1, 2, 3, 8] {
+            let mut pool = WorkerPool::new(threads);
+            let out = pool.run(500, 7, work);
+            match &reference {
+                None => reference = Some(out),
+                Some(r) => assert_eq!(&out, r, "thread-count dependence at {threads}"),
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_item_is_reported_not_hung() {
+        let mut pool = WorkerPool::new(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(100, 4, |i| {
+                if i == 57 {
+                    panic!("boom at item {i}");
+                }
+                i
+            })
+        }));
+        // the submitter re-raises the *original* payload, not a generic one
+        let payload = result.expect_err("panic must propagate to the submitter");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("string payload");
+        assert_eq!(msg, "boom at item 57");
+        // the pool must still be usable afterwards
+        let out = pool.run(10, 1, |i| i);
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+    }
+}

@@ -33,4 +33,4 @@ pub use host::HostTimestamping;
 pub use scenario::{Scenario, ServerKind};
 pub use server::{ServerFault, ServerModel};
 pub use shifts::{LevelShift, ShiftSchedule};
-pub use sim::{ExchangeSimulator, SimExchange, Truth};
+pub use sim::{ExchangeSimulator, ExchangeStream, RawExchanges, SimExchange, Truth};

@@ -205,6 +205,20 @@ impl Scenario {
         ExchangeSimulator::new(self)
     }
 
+    /// Builds a borrowing exchange stream (bit-identical output to
+    /// [`Scenario::build`], without cloning the anomaly schedules) — the
+    /// fleet-replay generation path.
+    pub fn stream(&self) -> crate::sim::ExchangeStream<'_> {
+        crate::sim::ExchangeStream::new(self)
+    }
+
+    /// A borrowing stream with the master seed overridden — what a fleet
+    /// uses to derive thousands of distinct streams from one shared
+    /// template without cloning it.
+    pub fn stream_with_seed(&self, seed: u64) -> crate::sim::ExchangeStream<'_> {
+        crate::sim::ExchangeStream::with_seed(self, seed)
+    }
+
     /// Runs the whole scenario, returning every exchange record (including
     /// lost ones, flagged).
     pub fn run(&self) -> Vec<crate::sim::SimExchange> {

@@ -27,6 +27,7 @@ use rand::{RngExt, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 use tsc_osc::TscCounter;
 use tsc_refmon::DagCard;
+use tscclock::RawExchange;
 
 /// Ground truth behind one exchange (never visible to the algorithms).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -80,16 +81,17 @@ pub struct SimExchange {
     pub truth: Truth,
 }
 
-/// Iterator-style simulator; see the module docs for the event pipeline.
-pub struct ExchangeSimulator {
+/// The owned stepping state shared by the two simulator front-ends: every
+/// stochastic element and the poll schedule, but *not* the anomaly
+/// schedules (level shifts, outages), which the front-ends either own
+/// ([`ExchangeSimulator`]) or borrow from the scenario ([`ExchangeStream`]).
+struct SimCore {
     counter: TscCounter,
     host: HostTimestamping,
     fwd: PathDelay,
     back: PathDelay,
     server: ServerModel,
     dag: DagCard,
-    shifts: ShiftSchedule,
-    outages: Vec<(f64, f64)>,
     loss_prob: f64,
     poll_period: f64,
     duration: f64,
@@ -98,43 +100,44 @@ pub struct ExchangeSimulator {
     loss_rng: ChaCha12Rng,
 }
 
-impl ExchangeSimulator {
-    /// Builds the simulator from a [`Scenario`].
-    pub fn new(sc: &Scenario) -> Self {
+impl SimCore {
+    fn new(sc: &Scenario) -> Self {
+        Self::new_seeded(sc, sc.seed)
+    }
+
+    /// Like [`SimCore::new`] with the master seed overridden — the fleet
+    /// path, where thousands of streams differ from a shared template
+    /// only by seed and must not clone it.
+    fn new_seeded(sc: &Scenario, seed: u64) -> Self {
         assert!(sc.poll_period > 0.0, "poll period must be positive");
         assert!(sc.duration > 0.0, "duration must be positive");
         let (fwd_min, back_min) = sc.server.min_delays();
         let (qf, qb) = sc.server.queue_means();
         let (cf, cb) = sc.server.congestion();
-        let osc = sc.environment.build(sc.seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
-        let mut server = ServerModel::new(sc.seed.wrapping_add(2));
+        let osc = sc.environment.build(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+        let mut server = ServerModel::new(seed.wrapping_add(2));
         for f in &sc.server_faults {
             server.add_fault(*f);
         }
         Self {
             counter: TscCounter::new(sc.tsc_freq_hz, 0, osc),
-            host: HostTimestamping::new(sc.seed.wrapping_add(3)),
-            fwd: PathDelay::new(fwd_min, qf, cf, sc.seed.wrapping_add(4)),
-            back: PathDelay::new(back_min, qb, cb, sc.seed.wrapping_add(5)),
+            host: HostTimestamping::new(seed.wrapping_add(3)),
+            fwd: PathDelay::new(fwd_min, qf, cf, seed.wrapping_add(4)),
+            back: PathDelay::new(back_min, qb, cb, seed.wrapping_add(5)),
             server,
-            dag: DagCard::dag32e(sc.seed.wrapping_add(6)),
-            shifts: sc.shifts.clone(),
-            outages: sc.outages.clone(),
+            dag: DagCard::dag32e(seed.wrapping_add(6)),
             loss_prob: sc.loss_prob,
             poll_period: sc.poll_period,
             duration: sc.duration,
             t_next: sc.poll_period, // first poll after one period
             i: 0,
-            loss_rng: ChaCha12Rng::seed_from_u64(sc.seed.wrapping_add(7)),
+            loss_rng: ChaCha12Rng::seed_from_u64(seed.wrapping_add(7)),
         }
     }
 
-    fn in_outage(&self, t: f64) -> bool {
-        self.outages.iter().any(|&(a, b)| t >= a && t < b)
-    }
-
-    /// Runs one poll; `None` when the scenario duration is exhausted.
-    pub fn step(&mut self) -> Option<SimExchange> {
+    /// One poll against the given anomaly schedules; `None` when the
+    /// scenario duration is exhausted. Allocation-free.
+    fn step(&mut self, shifts: &ShiftSchedule, outages: &[(f64, f64)]) -> Option<SimExchange> {
         if self.t_next > self.duration {
             return None;
         }
@@ -144,7 +147,7 @@ impl ExchangeSimulator {
         self.i += 1;
 
         // Route changes active at this instant.
-        let (df, db) = self.shifts.deltas_at(t);
+        let (df, db) = shifts.deltas_at(t);
         self.fwd.set_shift(df);
         self.back.set_shift(db);
 
@@ -159,7 +162,7 @@ impl ExchangeSimulator {
         let d_back = self.back.sample(te);
         let tf = te + d_back;
 
-        let lost = self.in_outage(t)
+        let lost = outages.iter().any(|&(a, b)| t >= a && t < b)
             || self.loss_rng.random::<f64>() < self.loss_prob;
         if lost {
             // Advance the server/DAG state deterministically even for lost
@@ -221,10 +224,39 @@ impl ExchangeSimulator {
             },
         })
     }
+}
+
+/// Iterator-style simulator; see the module docs for the event pipeline.
+///
+/// Owns copies of the scenario's anomaly schedules, so it can outlive the
+/// [`Scenario`] it was built from. When driving many simulators (fleet
+/// replay), prefer [`ExchangeStream`] via [`Scenario::stream`]: it borrows
+/// the schedules instead of cloning them, making per-stream construction
+/// allocation-free for fault-less scenarios.
+pub struct ExchangeSimulator {
+    core: SimCore,
+    shifts: ShiftSchedule,
+    outages: Vec<(f64, f64)>,
+}
+
+impl ExchangeSimulator {
+    /// Builds the simulator from a [`Scenario`].
+    pub fn new(sc: &Scenario) -> Self {
+        Self {
+            core: SimCore::new(sc),
+            shifts: sc.shifts.clone(),
+            outages: sc.outages.clone(),
+        }
+    }
+
+    /// Runs one poll; `None` when the scenario duration is exhausted.
+    pub fn step(&mut self) -> Option<SimExchange> {
+        self.core.step(&self.shifts, &self.outages)
+    }
 
     /// Nominal TSC frequency of the simulated host.
     pub fn tsc_freq_hz(&self) -> f64 {
-        self.counter.freq_hz()
+        self.core.counter.freq_hz()
     }
 }
 
@@ -232,6 +264,85 @@ impl Iterator for ExchangeSimulator {
     type Item = SimExchange;
     fn next(&mut self) -> Option<SimExchange> {
         self.step()
+    }
+}
+
+/// A borrowing exchange stream: identical output to [`ExchangeSimulator`]
+/// (bit-for-bit, same seed derivation), but the anomaly schedules are read
+/// straight out of the scenario — no per-stream clones, no allocations in
+/// steady-state stepping. This is the fleet-replay generation path, where
+/// thousands of streams are built against shared scenario templates and
+/// generation must never bottleneck the consumers.
+pub struct ExchangeStream<'a> {
+    core: SimCore,
+    scenario: &'a Scenario,
+}
+
+impl<'a> ExchangeStream<'a> {
+    /// Builds a stream borrowing `sc`'s schedules.
+    pub fn new(sc: &'a Scenario) -> Self {
+        Self {
+            core: SimCore::new(sc),
+            scenario: sc,
+        }
+    }
+
+    /// Builds a stream for `sc` with its master seed replaced by `seed` —
+    /// equivalent to (but cheaper than) cloning the scenario with a new
+    /// seed: nothing is copied, so a fleet can fan thousands of distinct
+    /// streams out of one shared template.
+    pub fn with_seed(sc: &'a Scenario, seed: u64) -> Self {
+        Self {
+            core: SimCore::new_seeded(sc, seed),
+            scenario: sc,
+        }
+    }
+
+    /// Runs one poll; `None` when the scenario duration is exhausted.
+    pub fn step(&mut self) -> Option<SimExchange> {
+        self.core
+            .step(&self.scenario.shifts, &self.scenario.outages)
+    }
+
+    /// Nominal TSC frequency of the simulated host.
+    pub fn tsc_freq_hz(&self) -> f64 {
+        self.core.counter.freq_hz()
+    }
+
+    /// Adapts the stream to yield only the observables of *delivered*
+    /// exchanges — the [`RawExchange`]s a real client would hand to the
+    /// clock — skipping lost packets.
+    pub fn raw(self) -> RawExchanges<'a> {
+        RawExchanges { inner: self }
+    }
+}
+
+impl Iterator for ExchangeStream<'_> {
+    type Item = SimExchange;
+    fn next(&mut self) -> Option<SimExchange> {
+        self.step()
+    }
+}
+
+/// See [`ExchangeStream::raw`].
+pub struct RawExchanges<'a> {
+    inner: ExchangeStream<'a>,
+}
+
+impl Iterator for RawExchanges<'_> {
+    type Item = RawExchange;
+    fn next(&mut self) -> Option<RawExchange> {
+        loop {
+            let e = self.inner.step()?;
+            if !e.lost {
+                return Some(RawExchange {
+                    ta_tsc: e.ta_tsc,
+                    tb: e.tb,
+                    te: e.te,
+                    tf_tsc: e.tf_tsc,
+                });
+            }
+        }
     }
 }
 
@@ -366,6 +477,82 @@ mod tests {
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn borrowing_stream_matches_owning_simulator() {
+        // same seed derivation, same stepping: the stream must be
+        // bit-identical to the simulator, including across anomalies
+        let sc = short_scenario(13)
+            .with_outage(3600.0, 4000.0)
+            .with_shift(LevelShift::forward_only(7200.0, None, 0.9e-3));
+        let owned: Vec<_> = sc.build().collect();
+        let streamed: Vec<_> = sc.stream().collect();
+        assert_eq!(owned.len(), streamed.len());
+        // lost packets carry NaN observables, so compare bit patterns
+        let bits = |e: &crate::SimExchange| {
+            (
+                e.i,
+                e.lost,
+                e.poll_time.to_bits(),
+                e.ta_tsc,
+                e.tf_tsc,
+                e.tb.to_bits(),
+                e.te.to_bits(),
+                e.tg.to_bits(),
+                [
+                    e.truth.ta.to_bits(),
+                    e.truth.tb.to_bits(),
+                    e.truth.te.to_bits(),
+                    e.truth.tf.to_bits(),
+                    e.truth.d_fwd.to_bits(),
+                    e.truth.d_srv.to_bits(),
+                    e.truth.d_back.to_bits(),
+                    e.truth.host_err_at_tf.to_bits(),
+                ],
+            )
+        };
+        for (x, y) in owned.iter().zip(&streamed) {
+            assert_eq!(bits(x), bits(y), "divergence at packet {}", x.i);
+        }
+    }
+
+    #[test]
+    fn seed_override_stream_equals_reseeded_scenario() {
+        // loss-free so delivered records are NaN-free and directly
+        // comparable; the loss RNG derivation is still seed-dependent and
+        // covered by borrowing_stream_matches_owning_simulator
+        let template = Scenario {
+            loss_prob: 0.0,
+            ..short_scenario(20)
+        };
+        for seed in [0u64, 21, u64::MAX] {
+            let reseeded: Vec<_> = Scenario { seed, ..template.clone() }.stream().collect();
+            let overridden: Vec<_> = template.stream_with_seed(seed).collect();
+            assert_eq!(reseeded.len(), overridden.len());
+            for (x, y) in reseeded.iter().zip(&overridden) {
+                assert_eq!(x, y, "seed {seed} diverged at packet {}", x.i);
+            }
+        }
+    }
+
+    #[test]
+    fn raw_adapter_skips_lost_and_keeps_observables() {
+        let sc = crate::scenario::Scenario {
+            loss_prob: 0.05,
+            ..short_scenario(14)
+        };
+        let all: Vec<_> = sc.stream().collect();
+        let raw: Vec<_> = sc.stream().raw().collect();
+        let delivered: Vec<_> = all.iter().filter(|e| !e.lost).collect();
+        assert_eq!(raw.len(), delivered.len());
+        assert!(raw.len() < all.len(), "some packets must have been lost");
+        for (r, e) in raw.iter().zip(&delivered) {
+            assert_eq!(r.ta_tsc, e.ta_tsc);
+            assert_eq!(r.tf_tsc, e.tf_tsc);
+            assert_eq!(r.tb, e.tb);
+            assert_eq!(r.te, e.te);
         }
     }
 

@@ -10,7 +10,18 @@
 //! fixed measurement budget after a short warm-up — adequate for tracking
 //! the order-of-magnitude improvements this repo's benches exist to show,
 //! with none of real criterion's statistics.
+//!
+//! # Machine-readable output
+//!
+//! When the `BENCH_JSON` environment variable names a path, every bench
+//! binary writes its measurements there as a JSON array of
+//! `{"bench", "mean_ns", "iters", "elements_per_iter",
+//! "throughput_per_sec"}` records on exit (via the `criterion_main!`
+//! epilogue) — the hook the repo uses to track its performance trajectory
+//! across PRs (e.g. `BENCH_fleet.json`). Smoke runs (`--test`) record
+//! nothing.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use self::measurement::black_box;
@@ -147,6 +158,7 @@ where
         return;
     }
     let ns = b.total.as_nanos() as f64 / b.iters as f64;
+    record_result(id, ns, b.iters, throughput);
     let rate = match throughput {
         Some(Throughput::Elements(n)) => {
             format!("  thrpt: {:>12} elem/s", human(n as f64 / (ns * 1e-9)))
@@ -157,6 +169,79 @@ where
         None => String::new(),
     };
     println!("{id:<50} time: {:>12}/iter{rate}", human_time(ns));
+}
+
+/// One finished measurement, kept for the JSON report.
+struct BenchRecord {
+    name: String,
+    mean_ns: f64,
+    iters: u64,
+    elements_per_iter: Option<u64>,
+    bytes_per_iter: Option<u64>,
+}
+
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+fn record_result(id: &str, mean_ns: f64, iters: u64, throughput: Option<Throughput>) {
+    let (elements, bytes) = match throughput {
+        Some(Throughput::Elements(n)) => (Some(n), None),
+        Some(Throughput::Bytes(n)) => (None, Some(n)),
+        None => (None, None),
+    };
+    RESULTS.lock().expect("results lock").push(BenchRecord {
+        name: id.to_string(),
+        mean_ns,
+        iters,
+        elements_per_iter: elements,
+        bytes_per_iter: bytes,
+    });
+}
+
+/// Renders an f64 for JSON (finite by construction here).
+fn json_num(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{:.1}", x)
+    } else {
+        format!("{x}")
+    }
+}
+
+/// Writes the collected measurements to `$BENCH_JSON`, if set. Called by
+/// the `criterion_main!` epilogue; a no-op without the variable or without
+/// measurements (smoke mode).
+pub fn write_json_report() {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    let results = RESULTS.lock().expect("results lock");
+    if results.is_empty() {
+        return;
+    }
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        let per_unit = r.elements_per_iter.or(r.bytes_per_iter);
+        let rate = per_unit
+            .map(|n| json_num(n as f64 / (r.mean_ns * 1e-9)))
+            .unwrap_or_else(|| "null".into());
+        let elems = r
+            .elements_per_iter
+            .map(|n| n.to_string())
+            .unwrap_or_else(|| "null".into());
+        out.push_str(&format!(
+            "  {{\"bench\": {:?}, \"mean_ns\": {}, \"iters\": {}, \"elements_per_iter\": {}, \"throughput_per_sec\": {}}}{}\n",
+            r.name,
+            json_num(r.mean_ns),
+            r.iters,
+            elems,
+            rate,
+            if i + 1 == results.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("]\n");
+    match std::fs::write(&path, out) {
+        Ok(()) => println!("bench report written to {path}"),
+        Err(e) => eprintln!("bench report write to {path} failed: {e}"),
+    }
 }
 
 fn human(x: f64) -> String {
@@ -266,6 +351,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_json_report();
         }
     };
 }

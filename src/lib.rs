@@ -1,5 +1,6 @@
 //! Umbrella crate for the IMC'04 robust software clock reproduction.
 //! Re-exports the workspace crates for convenient use in examples and tests.
+pub use tsc_fleet as fleet;
 pub use tsc_netsim as netsim;
 pub use tsc_ntp as ntp;
 pub use tsc_osc as osc;

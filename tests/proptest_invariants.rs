@@ -211,7 +211,6 @@ proptest! {
         gap_s in 0.0f64..40_000.0,
         use_local_rate in any::<bool>(),
     ) {
-        let p_true = 1.0000524e-9;
         let mut cfg = ClockConfig::paper_defaults(16.0);
         // Shrink every window so slides/shifts happen within a short run.
         cfg.top_window = 80.0 * 16.0;      // top window: 80 packets
@@ -221,62 +220,110 @@ proptest! {
         cfg.w_split = 4;
         cfg.warmup_packets = 16;
         cfg.use_local_rate = use_local_rate;
-        let mut optimized = TscNtpClock::new(cfg);
-        let mut reference = ReferenceClock::new(cfg);
-        let mut t = 0.0f64;
-        for (k, &(qf, qb, serr)) in seed_delays.iter().enumerate() {
-            t += 16.0;
-            if k == gap_at {
-                t += gap_s; // server outage: the §6.1 gap paths
-            }
-            // permanent upward route change at shift_at
-            let d = 450e-6 + if k >= shift_at { shift_ms * 1e-3 / 2.0 } else { 0.0 };
-            let e = RawExchange {
-                ta_tsc: (t / p_true) as u64,
-                tb: t + d + qf + serr,
-                te: t + d + qf + serr + 20e-6,
-                tf_tsc: ((t + 2.0 * d + 20e-6 + qf + qb) / p_true) as u64,
-            };
-            let a = optimized.process(e);
-            let b = reference.process(e);
-            prop_assert_eq!(a.is_some(), b.is_some(), "admission diverged at {}", k);
-            let (Some(a), Some(b)) = (a, b) else { continue };
-            // Rate, point-error and naive-offset paths contain no
-            // reassociated arithmetic, so they must agree BIT-EXACTLY.
-            prop_assert_eq!(a.p_hat.to_bits(), b.p_hat.to_bits(),
-                "p_hat diverged at {}: {:e} vs {:e}", k, a.p_hat, b.p_hat);
-            prop_assert_eq!(a.point_error.to_bits(), b.point_error.to_bits(),
-                "point_error diverged at {}: {:e} vs {:e}", k, a.point_error, b.point_error);
-            prop_assert_eq!(a.theta_naive.to_bits(), b.theta_naive.to_bits(),
-                "theta_naive diverged at {}", k);
-            prop_assert_eq!(a.p_local.is_some(), b.p_local.is_some(),
-                "local-rate activation diverged at {}", k);
-            if let (Some(pa), Some(pb)) = (a.p_local, b.p_local) {
-                prop_assert_eq!(pa.to_bits(), pb.to_bits(), "p_local diverged at {}", k);
-            }
-            // θ̂ runs through the vectorized weight kernel (reassociated
-            // sums, fast exp, FMA contraction) and carries estimates
-            // forward across packets, so ulp-level differences accumulate
-            // along chains: allow 1e-12 relative with a 50 ps absolute
-            // floor — five orders of magnitude below the paper's µs-scale
-            // clock errors.
-            let close = |x: f64, y: f64| {
-                x == y || (x - y).abs() <= 1e-12 * x.abs().max(y.abs()) + 5e-11
-            };
-            prop_assert!(close(a.theta_hat, b.theta_hat),
-                "theta_hat diverged at {}: {:e} vs {:e}", k, a.theta_hat, b.theta_hat);
-        }
-        // Every retained record's resolved point error must match the
-        // eagerly re-based reference history, record by record.
-        let p = optimized.status().p_hat.unwrap_or(p_true);
-        let opt_hist = optimized.history();
-        for rb in reference.history().iter() {
-            let ra = opt_hist.get(rb.idx).expect("same retention");
-            let (ea, eb) = (ra.point_error(p), rb.point_error(p));
-            prop_assert_eq!(
-                ea.to_bits(), eb.to_bits(),
-                "stored point error diverged at idx {}: {:e} vs {:e}", rb.idx, ea, eb
-            );
-        }
+        differential_case(cfg, &seed_delays, shift_at, shift_ms, gap_at, gap_s)?;
     }
+
+    /// Same differential property on a *coarse-poll geometry*: τ′ collapses
+    /// to 2 packets (the offset estimator's stack-buffer path instead of
+    /// the ring cache), the local-rate sub-windows to near 1 / far 2
+    /// packets (the direct-read path instead of the rolling argmin
+    /// deques), and the shift window sits at the `MIN_TS_PACKETS` floor.
+    /// The reference pipeline keeps independent dense implementations of
+    /// the history, offset and local-rate stages, so this pins those fast
+    /// paths' bit-exactness, not just their self-consistency. (The shift
+    /// *detector* is shared by both pipelines; its own parked-vs-dense
+    /// differential tests — including one with drifting p̂/r̂ — live in
+    /// `tscclock::shift`.)
+    #[test]
+    fn coarse_poll_fast_paths_match_reference(
+        seed_delays in prop::collection::vec(
+            (0.0f64..10e-3, 0.0f64..10e-3, 0.0f64..2e-3), 50..400),
+        shift_at in 60usize..200,
+        shift_ms in 0.5f64..3.0,
+        gap_at in 40usize..200,
+        gap_s in 0.0f64..40_000.0,
+        use_local_rate in any::<bool>(),
+    ) {
+        let mut cfg = ClockConfig::paper_defaults(16.0);
+        cfg.top_window = 80.0 * 16.0;      // top window: 80 packets
+        cfg.ts_window = 4.0 * 16.0;        // floored up to MIN_TS_PACKETS
+        cfg.tau_prime = 2.0 * 16.0;        // offset window: 2 packets
+        cfg.tau_bar = 30.0 * 16.0;         // near 1 / far 2 sub-windows
+        cfg.w_split = 30;
+        cfg.warmup_packets = 16;
+        cfg.use_local_rate = use_local_rate;
+        differential_case(cfg, &seed_delays, shift_at, shift_ms, gap_at, gap_s)?;
+    }
+}
+
+/// Drives the optimized and reference pipelines over one generated stream
+/// (queueing noise, a permanent upward route change, a data gap) and
+/// asserts estimate parity packet by packet.
+fn differential_case(
+    cfg: ClockConfig,
+    seed_delays: &[(f64, f64, f64)],
+    shift_at: usize,
+    shift_ms: f64,
+    gap_at: usize,
+    gap_s: f64,
+) -> Result<(), proptest::TestCaseError> {
+    let p_true = 1.0000524e-9;
+    let mut optimized = TscNtpClock::new(cfg);
+    let mut reference = ReferenceClock::new(cfg);
+    let mut t = 0.0f64;
+    for (k, &(qf, qb, serr)) in seed_delays.iter().enumerate() {
+        t += 16.0;
+        if k == gap_at {
+            t += gap_s; // server outage: the §6.1 gap paths
+        }
+        // permanent upward route change at shift_at
+        let d = 450e-6 + if k >= shift_at { shift_ms * 1e-3 / 2.0 } else { 0.0 };
+        let e = RawExchange {
+            ta_tsc: (t / p_true) as u64,
+            tb: t + d + qf + serr,
+            te: t + d + qf + serr + 20e-6,
+            tf_tsc: ((t + 2.0 * d + 20e-6 + qf + qb) / p_true) as u64,
+        };
+        let a = optimized.process(e);
+        let b = reference.process(e);
+        prop_assert_eq!(a.is_some(), b.is_some(), "admission diverged at {}", k);
+        let (Some(a), Some(b)) = (a, b) else { continue };
+        // Rate, point-error and naive-offset paths contain no
+        // reassociated arithmetic, so they must agree BIT-EXACTLY.
+        prop_assert_eq!(a.p_hat.to_bits(), b.p_hat.to_bits(),
+            "p_hat diverged at {}: {:e} vs {:e}", k, a.p_hat, b.p_hat);
+        prop_assert_eq!(a.point_error.to_bits(), b.point_error.to_bits(),
+            "point_error diverged at {}: {:e} vs {:e}", k, a.point_error, b.point_error);
+        prop_assert_eq!(a.theta_naive.to_bits(), b.theta_naive.to_bits(),
+            "theta_naive diverged at {}", k);
+        prop_assert_eq!(a.p_local.is_some(), b.p_local.is_some(),
+            "local-rate activation diverged at {}", k);
+        if let (Some(pa), Some(pb)) = (a.p_local, b.p_local) {
+            prop_assert_eq!(pa.to_bits(), pb.to_bits(), "p_local diverged at {}", k);
+        }
+        // θ̂ runs through the vectorized weight kernel (reassociated
+        // sums, fast exp, FMA contraction) and carries estimates
+        // forward across packets, so ulp-level differences accumulate
+        // along chains: allow 1e-12 relative with a 50 ps absolute
+        // floor — five orders of magnitude below the paper's µs-scale
+        // clock errors.
+        let close = |x: f64, y: f64| {
+            x == y || (x - y).abs() <= 1e-12 * x.abs().max(y.abs()) + 5e-11
+        };
+        prop_assert!(close(a.theta_hat, b.theta_hat),
+            "theta_hat diverged at {}: {:e} vs {:e}", k, a.theta_hat, b.theta_hat);
+    }
+    // Every retained record's resolved point error must match the
+    // eagerly re-based reference history, record by record.
+    let p = optimized.status().p_hat.unwrap_or(p_true);
+    let opt_hist = optimized.history();
+    for rb in reference.history().iter() {
+        let ra = opt_hist.get(rb.idx).expect("same retention");
+        let (ea, eb) = (ra.point_error(p), rb.point_error(p));
+        prop_assert_eq!(
+            ea.to_bits(), eb.to_bits(),
+            "stored point error diverged at idx {}: {:e} vs {:e}", rb.idx, ea, eb
+        );
+    }
+    Ok(())
 }
