@@ -1,0 +1,129 @@
+//! Generation-only benchmarks: how fast can netsim produce exchanges?
+//!
+//! PR 2 measured fleet replay as *generation-bound* (~1.7 µs per packet in
+//! the exchange pipeline against ~0.13–0.22 µs for the clock itself), so
+//! the generator's throughput is tracked here as a first-class perf
+//! series, separate from the consumers:
+//!
+//! * `netsim_stream_raw_*` — the fleet generation path: observables-only
+//!   stepping ([`tsc_netsim::RawExchanges::fill_batch`]), no DAG sampling,
+//!   no truth record.
+//! * `netsim_stream_full_*` — the experiment path: full [`SimExchange`]
+//!   records with ground truth and the DAG reference timestamp.
+//! * `netsim_stream_plus_clock` — generation feeding one clock's batched
+//!   ingest, the end-to-end single-clock replay cost.
+//! * `osc_advance_*` — the oscillator alone: closed-form deterministic
+//!   integration + bridged/batched stochastic sampling, at a dense and a
+//!   coarse polling cadence.
+//!
+//! Set `BENCH_JSON=BENCH_netsim.json` to write machine-readable results
+//! (bench name, mean ns, packets/s) for cross-PR tracking.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tsc_netsim::Scenario;
+use tsc_osc::Environment;
+use tscclock::{ClockConfig, ProcessOutput, RawExchange, TscNtpClock};
+
+/// Polls per measured iteration, kept constant across cadences so the
+/// per-packet numbers are directly comparable.
+const POLLS: usize = 100_000;
+
+fn scenario(poll: f64) -> Scenario {
+    Scenario::baseline(7)
+        .with_poll_period(poll)
+        .with_duration(poll * POLLS as f64)
+}
+
+fn bench_stream_raw(c: &mut Criterion) {
+    for poll in [16.0f64, 64.0] {
+        let sc = scenario(poll);
+        let mut g = c.benchmark_group(format!("netsim_stream_raw_poll{poll:.0}"));
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(POLLS as u64));
+        g.bench_function("generate", |b| {
+            let mut buf: Vec<RawExchange> = Vec::with_capacity(4096);
+            b.iter(|| {
+                let mut raw = sc.stream().raw();
+                let mut total = 0usize;
+                loop {
+                    buf.clear();
+                    let n = raw.fill_batch(&mut buf, 4096);
+                    if n == 0 {
+                        break;
+                    }
+                    total += n;
+                }
+                std::hint::black_box(total)
+            })
+        });
+        g.finish();
+    }
+}
+
+fn bench_stream_full(c: &mut Criterion) {
+    for poll in [16.0f64, 64.0] {
+        let sc = scenario(poll);
+        let mut g = c.benchmark_group(format!("netsim_stream_full_poll{poll:.0}"));
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(POLLS as u64));
+        g.bench_function("generate", |b| {
+            b.iter(|| std::hint::black_box(sc.stream().count()))
+        });
+        g.finish();
+    }
+}
+
+fn bench_stream_plus_clock(c: &mut Criterion) {
+    let poll = 64.0;
+    let sc = scenario(poll);
+    let mut g = c.benchmark_group("netsim_stream_plus_clock_poll64");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(POLLS as u64));
+    g.bench_function("replay", |b| {
+        let mut buf: Vec<RawExchange> = Vec::with_capacity(256);
+        let mut out: Vec<ProcessOutput> = Vec::with_capacity(256);
+        b.iter(|| {
+            let mut clock = TscNtpClock::new(ClockConfig::paper_defaults(poll));
+            let mut raw = sc.stream().raw();
+            let mut produced = 0usize;
+            loop {
+                buf.clear();
+                if raw.fill_batch(&mut buf, 256) == 0 {
+                    break;
+                }
+                out.clear();
+                produced += clock.process_batch(&buf, &mut out);
+            }
+            std::hint::black_box(produced)
+        })
+    });
+    g.finish();
+}
+
+fn bench_osc_advance(c: &mut Criterion) {
+    for (label, poll) in [("poll16", 16.0f64), ("poll1024", 1024.0)] {
+        let mut g = c.benchmark_group(format!("osc_advance_{label}"));
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(POLLS as u64));
+        g.bench_function("machine_room", |b| {
+            b.iter(|| {
+                let mut osc = Environment::MachineRoom.build(3);
+                let mut x = 0.0;
+                for i in 1..=POLLS {
+                    x = osc.advance_to(i as f64 * poll);
+                }
+                std::hint::black_box(x)
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_stream_raw,
+    bench_stream_full,
+    bench_stream_plus_clock,
+    bench_osc_advance
+);
+criterion_main!(benches);

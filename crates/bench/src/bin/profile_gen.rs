@@ -1,0 +1,69 @@
+//! Quick stage-level profiler for the netsim generation cost.
+use std::time::Instant;
+use tsc_netsim::{CongestionParams, HostTimestamping, PathDelay, Scenario, ServerModel};
+use tsc_osc::Environment;
+
+fn main() {
+    let polls = 200_000usize;
+    for poll in [16.0f64, 64.0] {
+        let sc = Scenario::baseline(1)
+            .with_poll_period(poll)
+            .with_duration(poll * polls as f64);
+
+        for round in 0..2 {
+            // full stream
+            let t0 = Instant::now();
+            let n = sc.stream().count();
+            let full = t0.elapsed();
+
+            // oscillator advance only
+            let mut osc = Environment::MachineRoom.build(1);
+            let t0 = Instant::now();
+            for i in 1..=polls {
+                std::hint::black_box(osc.advance_to(i as f64 * poll));
+            }
+            let osc_t = t0.elapsed();
+
+            // path delay sampling only (two paths)
+            let mut fwd = PathDelay::new(0.4e-3, 80e-6, CongestionParams::moderate(), 4);
+            let mut back = PathDelay::new(0.4e-3, 45e-6, CongestionParams::moderate(), 5);
+            let t0 = Instant::now();
+            for i in 1..=polls {
+                let t = i as f64 * poll;
+                std::hint::black_box(fwd.sample(t));
+                std::hint::black_box(back.sample(t + 0.5e-3));
+            }
+            let path_t = t0.elapsed();
+
+            // host latencies
+            let mut host = HostTimestamping::new(3);
+            let t0 = Instant::now();
+            for _ in 0..polls {
+                std::hint::black_box(host.send_latency());
+                std::hint::black_box(host.recv_latency());
+            }
+            let host_t = t0.elapsed();
+
+            // server
+            let mut server = ServerModel::new(2);
+            let t0 = Instant::now();
+            for i in 0..polls {
+                let t = i as f64 * poll;
+                std::hint::black_box(server.residence(t));
+                std::hint::black_box(server.stamp_rx(t));
+                std::hint::black_box(server.stamp_tx(t));
+            }
+            let server_t = t0.elapsed();
+
+            if round == 1 {
+                let per = |d: std::time::Duration| d.as_nanos() as f64 / n as f64;
+                println!("--- poll {poll} ({n} packets) ---");
+                println!("full stream:   {:7.0} ns/packet", per(full));
+                println!("oscillator:    {:7.0} ns/packet", per(osc_t));
+                println!("2x path delay: {:7.0} ns/packet", per(path_t));
+                println!("host lats:     {:7.0} ns/packet", per(host_t));
+                println!("server:        {:7.0} ns/packet", per(server_t));
+            }
+        }
+    }
+}

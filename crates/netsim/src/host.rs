@@ -47,10 +47,20 @@ impl Default for HostParams {
 }
 
 /// Draws send and receive timestamping latencies for the host.
+///
+/// The Gaussian draws use Box-Muller with the otherwise-discarded second
+/// value of each pair cached (`sin_cos` computes both for the price of
+/// one), so the marginal distribution is exactly the classic formulation's
+/// while half the draws cost nothing. The original draw-per-call
+/// formulation — including its wasted Gaussian on the scheduling-error
+/// branch of [`HostTimestamping::recv_latency`] — is retained behind the
+/// `reference` feature for the statistical-equivalence differential tests.
 #[derive(Debug)]
 pub struct HostTimestamping {
     params: HostParams,
     rng: ChaCha12Rng,
+    /// Cached second half of the last Box-Muller pair.
+    spare: Option<f64>,
 }
 
 impl HostTimestamping {
@@ -64,20 +74,28 @@ impl HostTimestamping {
         Self {
             params,
             rng: ChaCha12Rng::seed_from_u64(seed ^ 0x1057_57A3),
+            spare: None,
         }
     }
 
     fn gauss(&mut self) -> f64 {
+        if let Some(g) = self.spare.take() {
+            return g;
+        }
         let u1: f64 = self.rng.random::<f64>().max(1e-300);
         let u2: f64 = self.rng.random::<f64>();
-        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+        let r = (-2.0 * u1.ln()).sqrt();
+        let (s, c) = (std::f64::consts::TAU * u2).sin_cos();
+        self.spare = Some(r * s);
+        r * c
     }
 
-    /// Positive latency from the three-mode mixture.
+    /// Positive latency from the three-mode mixture. The Gaussian width
+    /// term is only drawn on the branches that use it (the original
+    /// formulation burned a pair on the scheduling-error path too).
     fn interrupt_latency(&mut self) -> f64 {
         let p = self.params;
         let u: f64 = self.rng.random();
-        let g = self.gauss();
         let centre = if u < p.p_scheduling {
             // gross scheduling error: exponential-ish, up to ~1 ms
             let e: f64 = self.rng.random::<f64>().max(1e-300);
@@ -89,7 +107,7 @@ impl HostTimestamping {
         } else {
             0.0
         };
-        (p.base + centre + g * p.main_width).max(0.2e-6)
+        (p.base + centre + self.gauss() * p.main_width).max(0.2e-6)
     }
 
     /// Latency between the raw `Ta` read and the frame's true departure.
@@ -110,6 +128,43 @@ impl HostTimestamping {
     /// The calibration unit δ: the paper's bound on host timestamping error
     /// (15 µs).
     pub const DELTA: f64 = 15e-6;
+}
+
+/// The pre-optimization formulation, bit-identical to the original
+/// implementation: a fresh Box-Muller pair per call (second value
+/// discarded) and the Gaussian drawn before the mixture branch.
+#[cfg(feature = "reference")]
+impl HostTimestamping {
+    fn gauss_reference(&mut self) -> f64 {
+        let u1: f64 = self.rng.random::<f64>().max(1e-300);
+        let u2: f64 = self.rng.random::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Original [`HostTimestamping::send_latency`].
+    pub fn send_latency_reference(&mut self) -> f64 {
+        let p = self.params;
+        let g = self.gauss_reference().abs();
+        p.base + g * p.main_width
+    }
+
+    /// Original [`HostTimestamping::recv_latency`], wasted draw included.
+    pub fn recv_latency_reference(&mut self) -> f64 {
+        let p = self.params;
+        let u: f64 = self.rng.random();
+        let g = self.gauss_reference();
+        let centre = if u < p.p_scheduling {
+            let e: f64 = self.rng.random::<f64>().max(1e-300);
+            return p.base + p.scheduling_mean * (-e.ln());
+        } else if u < p.p_scheduling + p.p_mode_31us {
+            31e-6
+        } else if u < p.p_scheduling + p.p_mode_31us + p.p_mode_10us {
+            10e-6
+        } else {
+            0.0
+        };
+        (p.base + centre + g * p.main_width).max(0.2e-6)
+    }
 }
 
 #[cfg(test)]

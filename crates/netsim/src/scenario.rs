@@ -224,6 +224,15 @@ impl Scenario {
     pub fn run(&self) -> Vec<crate::sim::SimExchange> {
         self.build().collect()
     }
+
+    /// Runs the whole scenario through the pre-optimization pipeline
+    /// (draw-per-call samplers, exact-time burst evolution, reference
+    /// oscillator) — the ground truth of the statistical-equivalence
+    /// differential tests.
+    #[cfg(feature = "reference")]
+    pub fn run_reference(&self) -> Vec<crate::sim::SimExchange> {
+        ExchangeSimulator::new_reference(self).collect()
+    }
 }
 
 #[cfg(test)]

@@ -65,12 +65,21 @@ impl Default for ServerParams {
 
 /// A stratum-1 server: perfectly GPS-synchronized truth, imperfect
 /// timestamping, plus injectable faults.
+///
+/// The timestamping-noise Gaussians use Box-Muller with the second value
+/// of each pair cached (`sin_cos` computes both for one argument
+/// reduction), exactly as [`crate::HostTimestamping`] does — a server
+/// stamps two Gaussians per delivered packet (`Tb`, `Te`), so the pair
+/// cache halves the draw cost. The original draw-per-call formulation is
+/// retained behind the `reference` feature for the differential tests.
 #[derive(Debug)]
 pub struct ServerModel {
     params: ServerParams,
     faults: Vec<ServerFault>,
     exp_res: Exp<f64>,
     rng: ChaCha12Rng,
+    /// Cached second half of the last Box-Muller pair.
+    spare: Option<f64>,
 }
 
 impl ServerModel {
@@ -87,6 +96,7 @@ impl ServerModel {
             faults: Vec::new(),
             exp_res: Exp::new(1.0 / params.residence_mean).expect("valid rate"),
             rng: ChaCha12Rng::seed_from_u64(seed ^ 0x5E4B_E401),
+            spare: None,
         }
     }
 
@@ -102,9 +112,15 @@ impl ServerModel {
     }
 
     fn gauss(&mut self) -> f64 {
+        if let Some(g) = self.spare.take() {
+            return g;
+        }
         let u1: f64 = self.rng.random::<f64>().max(1e-300);
         let u2: f64 = self.rng.random::<f64>();
-        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+        let r = (-2.0 * u1.ln()).sqrt();
+        let (s, c) = (std::f64::consts::TAU * u2).sin_cos();
+        self.spare = Some(r * s);
+        r * c
     }
 
     fn fault_offset(&self, t: f64) -> f64 {
@@ -139,6 +155,33 @@ impl ServerModel {
     /// (the a-priori-unknown `Te` vs `te` relationship of §4.2).
     pub fn stamp_tx(&mut self, te: f64) -> f64 {
         let mut noise = (self.gauss() * self.params.stamp_sigma).abs();
+        if self.rng.random::<f64>() < self.params.p_te_outlier {
+            let e: f64 = self.rng.random::<f64>().max(1e-300);
+            noise += self.params.te_outlier_mean * (-e.ln());
+        }
+        te + noise + self.fault_offset(te)
+    }
+}
+
+/// The pre-optimization formulation: a fresh Box-Muller pair per stamp,
+/// second value discarded — bit-identical to the original implementation.
+#[cfg(feature = "reference")]
+impl ServerModel {
+    fn gauss_reference(&mut self) -> f64 {
+        let u1: f64 = self.rng.random::<f64>().max(1e-300);
+        let u2: f64 = self.rng.random::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Original [`ServerModel::stamp_rx`].
+    pub fn stamp_rx_reference(&mut self, tb: f64) -> f64 {
+        let noise = (self.gauss_reference() * self.params.stamp_sigma).abs();
+        tb + noise + self.fault_offset(tb)
+    }
+
+    /// Original [`ServerModel::stamp_tx`].
+    pub fn stamp_tx_reference(&mut self, te: f64) -> f64 {
+        let mut noise = (self.gauss_reference() * self.params.stamp_sigma).abs();
         if self.rng.random::<f64>() < self.params.p_te_outlier {
             let e: f64 = self.rng.random::<f64>().max(1e-300);
             noise += self.params.te_outlier_mean * (-e.ln());

@@ -98,6 +98,32 @@ struct SimCore {
     t_next: f64,
     i: usize,
     loss_rng: ChaCha12Rng,
+    /// End (exclusive) of the current anomaly segment: the anomaly
+    /// schedules are piecewise-constant, so shift deltas and the outage
+    /// flag are recomputed only when the poll time crosses this boundary
+    /// instead of on every packet. `-inf` forces a refresh on first use.
+    seg_until: f64,
+    /// Whether polls in the current segment fall inside an outage window.
+    seg_outage: bool,
+    /// Run every sampler in its original (pre-optimization) formulation.
+    #[cfg(feature = "reference")]
+    reference: bool,
+}
+
+/// Everything one poll produces before the loss decision branches the
+/// pipeline (see [`SimCore::poll_core`]).
+struct PollCore {
+    t: f64,
+    i: usize,
+    ta_tsc: u64,
+    ta: f64,
+    d_fwd: f64,
+    tb: f64,
+    d_srv: f64,
+    te: f64,
+    d_back: f64,
+    tf: f64,
+    lost: bool,
 }
 
 impl SimCore {
@@ -119,11 +145,15 @@ impl SimCore {
         for f in &sc.server_faults {
             server.add_fault(*f);
         }
+        let mut fwd = PathDelay::new(fwd_min, qf, cf, seed.wrapping_add(4));
+        let mut back = PathDelay::new(back_min, qb, cb, seed.wrapping_add(5));
+        fwd.set_cadence(sc.poll_period);
+        back.set_cadence(sc.poll_period);
         Self {
             counter: TscCounter::new(sc.tsc_freq_hz, 0, osc),
             host: HostTimestamping::new(seed.wrapping_add(3)),
-            fwd: PathDelay::new(fwd_min, qf, cf, seed.wrapping_add(4)),
-            back: PathDelay::new(back_min, qb, cb, seed.wrapping_add(5)),
+            fwd,
+            back,
             server,
             dag: DagCard::dag32e(seed.wrapping_add(6)),
             loss_prob: sc.loss_prob,
@@ -132,12 +162,268 @@ impl SimCore {
             t_next: sc.poll_period, // first poll after one period
             i: 0,
             loss_rng: ChaCha12Rng::seed_from_u64(seed.wrapping_add(7)),
+            seg_until: f64::NEG_INFINITY,
+            seg_outage: false,
+            #[cfg(feature = "reference")]
+            reference: false,
         }
+    }
+
+    /// Recomputes the piecewise-constant anomaly state (shift deltas,
+    /// outage flag) for the segment containing poll time `t`, and finds
+    /// the next boundary after which it must be recomputed again. Between
+    /// boundaries, [`SimCore::step`] pays one float compare per packet
+    /// instead of a schedule scan.
+    #[cold]
+    fn refresh_segment(&mut self, shifts: &ShiftSchedule, outages: &[(f64, f64)], t: f64) {
+        let (df, db) = shifts.deltas_at(t);
+        self.fwd.set_shift(df);
+        self.back.set_shift(db);
+        self.seg_outage = outages.iter().any(|&(a, b)| t >= a && t < b);
+        let mut until = f64::INFINITY;
+        for s in shifts.events() {
+            if s.at > t {
+                until = until.min(s.at);
+            }
+            if let Some(u) = s.until {
+                if u > t {
+                    until = until.min(u);
+                }
+            }
+        }
+        for &(a, b) in outages {
+            if a > t {
+                until = until.min(a);
+            }
+            if b > t {
+                until = until.min(b);
+            }
+        }
+        self.seg_until = until;
+    }
+
+    /// Shared per-poll pipeline up to the loss decision: schedule/segment
+    /// bookkeeping, the `Ta` counter read, and the send/path/server delay
+    /// draws. Both [`SimCore::step`] and [`SimCore::step_raw`] consume
+    /// this, so their sampler draw order is lockstep *by construction* —
+    /// the bit-identity of the raw path's observables cannot silently
+    /// drift. `None` when the scenario duration is exhausted.
+    #[inline]
+    fn poll_core(&mut self, shifts: &ShiftSchedule, outages: &[(f64, f64)]) -> Option<PollCore> {
+        if self.t_next > self.duration {
+            return None;
+        }
+        let t = self.t_next;
+        self.t_next += self.poll_period;
+        let i = self.i;
+        self.i += 1;
+
+        // Route changes / outages active in this segment.
+        if t >= self.seg_until {
+            self.refresh_segment(shifts, outages, t);
+        }
+
+        // Host sends: raw read first, then true departure.
+        let ta_tsc = self.counter.read(t);
+        let ta = t + self.host.send_latency();
+
+        let d_fwd = self.fwd.sample_cadenced();
+        let tb = ta + d_fwd;
+        let d_srv = self.server.residence(tb);
+        let te = tb + d_srv;
+        let d_back = self.back.sample_cadenced();
+        let tf = te + d_back;
+
+        // A lost packet never reaches the server's stamping, the DAG or
+        // the host receive path; the host's counter already advanced via
+        // the `Ta` read and nothing else did.
+        let lost = self.seg_outage || self.loss_rng.random::<f64>() < self.loss_prob;
+        Some(PollCore {
+            t,
+            i,
+            ta_tsc,
+            ta,
+            d_fwd,
+            tb,
+            d_srv,
+            te,
+            d_back,
+            tf,
+            lost,
+        })
+    }
+
+    /// Shared delivered-packet observables: server stamps, host receive
+    /// latency and the `Tf` counter read (everything a [`RawExchange`]
+    /// carries beyond `Ta`). Returns `(Tb, Te, Tf_tsc)`.
+    #[inline]
+    fn deliver_observables(&mut self, tb: f64, te: f64, tf: f64) -> (f64, f64, u64) {
+        let tb_stamp = self.server.stamp_rx(tb);
+        let te_stamp = self.server.stamp_tx(te);
+        let tf_read = tf + self.host.recv_latency();
+        let tf_tsc = self.counter.read(tf_read);
+        (tb_stamp, te_stamp, tf_tsc)
     }
 
     /// One poll against the given anomaly schedules; `None` when the
     /// scenario duration is exhausted. Allocation-free.
     fn step(&mut self, shifts: &ShiftSchedule, outages: &[(f64, f64)]) -> Option<SimExchange> {
+        #[cfg(feature = "reference")]
+        if self.reference {
+            return self.step_reference(shifts, outages);
+        }
+        let core = self.poll_core(shifts, outages)?;
+        if core.lost {
+            return Some(SimExchange {
+                i: core.i,
+                poll_time: core.t,
+                lost: true,
+                ta_tsc: core.ta_tsc,
+                tf_tsc: 0,
+                tb: f64::NAN,
+                te: f64::NAN,
+                tg: f64::NAN,
+                truth: Truth {
+                    ta: core.ta,
+                    tb: core.tb,
+                    te: core.te,
+                    tf: core.tf,
+                    d_fwd: core.d_fwd,
+                    d_srv: core.d_srv,
+                    d_back: core.d_back,
+                    host_err_at_tf: f64::NAN,
+                },
+            });
+        }
+
+        let (tb_stamp, te_stamp, tf_tsc) =
+            self.deliver_observables(core.tb, core.te, core.tf);
+        let host_err = self.counter.time_error();
+
+        // DAG taps the wire just before the host NIC: first bit passes the
+        // tap one frame-time before full arrival. (Its jitter is an
+        // independent RNG stream, so sampling it after the host-side
+        // observables changes nothing.)
+        let tg = self
+            .dag
+            .timestamp_corrected(core.tf - tsc_refmon::FIRST_BIT_CORRECTION);
+
+        Some(SimExchange {
+            i: core.i,
+            poll_time: core.t,
+            lost: false,
+            ta_tsc: core.ta_tsc,
+            tf_tsc,
+            tb: tb_stamp,
+            te: te_stamp,
+            tg,
+            truth: Truth {
+                ta: core.ta,
+                tb: core.tb,
+                te: core.te,
+                tf: core.tf,
+                d_fwd: core.d_fwd,
+                d_srv: core.d_srv,
+                d_back: core.d_back,
+                host_err_at_tf: host_err,
+            },
+        })
+    }
+
+    /// One poll, observables only: the [`RawExchange`] a delivered packet
+    /// hands to the clock, `Some(None)` for a lost packet, `None` at end
+    /// of scenario. Runs the same [`SimCore::poll_core`] and
+    /// [`SimCore::deliver_observables`] as the full step but *skips* the
+    /// DAG reference card: its jitter lives on an independent RNG stream
+    /// that nothing else reads, so the emitted observables are
+    /// bit-identical to the full step's — the raw-path tests prove it.
+    /// This is the fleet generation path, where no consumer looks at `Tg`
+    /// or the truth.
+    #[allow(clippy::option_option)]
+    fn step_raw(
+        &mut self,
+        shifts: &ShiftSchedule,
+        outages: &[(f64, f64)],
+    ) -> Option<Option<RawExchange>> {
+        #[cfg(feature = "reference")]
+        if self.reference {
+            return self.step_reference(shifts, outages).map(|e| {
+                (!e.lost).then_some(RawExchange {
+                    ta_tsc: e.ta_tsc,
+                    tb: e.tb,
+                    te: e.te,
+                    tf_tsc: e.tf_tsc,
+                })
+            });
+        }
+        let core = self.poll_core(shifts, outages)?;
+        if core.lost {
+            return Some(None);
+        }
+        let (tb, te, tf_tsc) = self.deliver_observables(core.tb, core.te, core.tf);
+        Some(Some(RawExchange {
+            ta_tsc: core.ta_tsc,
+            tb,
+            te,
+            tf_tsc,
+        }))
+    }
+
+    /// Runs up to `max` polls, appending the records to `out`; returns how
+    /// many were produced (fewer only when the duration ran out). Output is
+    /// bit-identical to `max` calls of [`SimCore::step`] — the batch only
+    /// amortizes the per-call dispatch; all per-packet state (anomaly
+    /// segment cache, cadenced burst chains) is shared with the stepwise
+    /// path, so any interleaving of `step` and `step_batch` agrees.
+    fn step_batch(
+        &mut self,
+        shifts: &ShiftSchedule,
+        outages: &[(f64, f64)],
+        max: usize,
+        out: &mut Vec<SimExchange>,
+    ) -> usize {
+        let remaining = if self.t_next > self.duration {
+            0
+        } else {
+            ((self.duration - self.t_next) / self.poll_period) as usize + 1
+        };
+        out.reserve(max.min(remaining));
+        let mut n = 0;
+        while n < max {
+            match self.step(shifts, outages) {
+                Some(e) => {
+                    out.push(e);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+
+    /// The pre-optimization pipeline, end to end: per-packet schedule
+    /// scans, exact-time burst evolution, draw-per-call Box-Muller
+    /// samplers, and the reference oscillator stepping — bit-identical to
+    /// the original implementation for the same scenario and seed.
+    #[cfg(feature = "reference")]
+    fn new_reference(sc: &Scenario, seed: u64) -> Self {
+        let osc = sc
+            .environment
+            .build_reference(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+        let mut core = Self::new_seeded(sc, seed);
+        core.counter = TscCounter::new(sc.tsc_freq_hz, 0, osc);
+        core.reference = true;
+        core
+    }
+
+    /// Original [`SimCore::step`]: the exact formulation at the time the
+    /// generation fast path was introduced.
+    #[cfg(feature = "reference")]
+    fn step_reference(
+        &mut self,
+        shifts: &ShiftSchedule,
+        outages: &[(f64, f64)],
+    ) -> Option<SimExchange> {
         if self.t_next > self.duration {
             return None;
         }
@@ -153,21 +439,18 @@ impl SimCore {
 
         // Host sends: raw read first, then true departure.
         let ta_tsc = self.counter.read(t);
-        let ta = t + self.host.send_latency();
+        let ta = t + self.host.send_latency_reference();
 
-        let d_fwd = self.fwd.sample(ta);
+        let d_fwd = self.fwd.sample_reference(ta);
         let tb = ta + d_fwd;
         let d_srv = self.server.residence(tb);
         let te = tb + d_srv;
-        let d_back = self.back.sample(te);
+        let d_back = self.back.sample_reference(te);
         let tf = te + d_back;
 
         let lost = outages.iter().any(|&(a, b)| t >= a && t < b)
             || self.loss_rng.random::<f64>() < self.loss_prob;
         if lost {
-            // Advance the server/DAG state deterministically even for lost
-            // packets? No: a lost packet never reaches them. The host's
-            // counter already advanced via the `Ta` read; nothing else did.
             return Some(SimExchange {
                 i,
                 poll_time: t,
@@ -190,16 +473,14 @@ impl SimCore {
             });
         }
 
-        let tb_stamp = self.server.stamp_rx(tb);
-        let te_stamp = self.server.stamp_tx(te);
+        let tb_stamp = self.server.stamp_rx_reference(tb);
+        let te_stamp = self.server.stamp_tx_reference(te);
 
-        // DAG taps the wire just before the host NIC: first bit passes the
-        // tap one frame-time before full arrival.
         let tg = self
             .dag
             .timestamp_corrected(tf - tsc_refmon::FIRST_BIT_CORRECTION);
 
-        let tf_read = tf + self.host.recv_latency();
+        let tf_read = tf + self.host.recv_latency_reference();
         let tf_tsc = self.counter.read(tf_read);
         let host_err = self.counter.time_error();
 
@@ -244,6 +525,18 @@ impl ExchangeSimulator {
     pub fn new(sc: &Scenario) -> Self {
         Self {
             core: SimCore::new(sc),
+            shifts: sc.shifts.clone(),
+            outages: sc.outages.clone(),
+        }
+    }
+
+    /// Builds the pre-optimization simulator: every sampler and the
+    /// oscillator run their original formulation. The differential tests
+    /// compare its traces against the fast path statistically.
+    #[cfg(feature = "reference")]
+    pub fn new_reference(sc: &Scenario) -> Self {
+        Self {
+            core: SimCore::new_reference(sc, sc.seed),
             shifts: sc.shifts.clone(),
             outages: sc.outages.clone(),
         }
@@ -304,6 +597,14 @@ impl<'a> ExchangeStream<'a> {
             .step(&self.scenario.shifts, &self.scenario.outages)
     }
 
+    /// Runs up to `max` polls, appending to `out`; returns the count
+    /// produced. Bit-identical to calling [`ExchangeStream::step`] `max`
+    /// times — the batch amortizes per-call dispatch, nothing else.
+    pub fn next_batch(&mut self, out: &mut Vec<SimExchange>, max: usize) -> usize {
+        self.core
+            .step_batch(&self.scenario.shifts, &self.scenario.outages, max, out)
+    }
+
     /// Nominal TSC frequency of the simulated host.
     pub fn tsc_freq_hz(&self) -> f64 {
         self.core.counter.freq_hz()
@@ -329,18 +630,37 @@ pub struct RawExchanges<'a> {
     inner: ExchangeStream<'a>,
 }
 
+impl RawExchanges<'_> {
+    /// Appends up to `max` *delivered* exchanges to `buf`, skipping lost
+    /// packets; returns the count produced (fewer only at end of
+    /// scenario). The fleet ingest path: one call fills a whole
+    /// `process_batch` buffer without per-item iterator dispatch, on the
+    /// observables-only step (no DAG sampling, no truth record).
+    pub fn fill_batch(&mut self, buf: &mut Vec<RawExchange>, max: usize) -> usize {
+        let sc = self.inner.scenario;
+        let mut n = 0;
+        while n < max {
+            match self.inner.core.step_raw(&sc.shifts, &sc.outages) {
+                Some(Some(r)) => {
+                    buf.push(r);
+                    n += 1;
+                }
+                Some(None) => {}
+                None => break,
+            }
+        }
+        n
+    }
+}
+
 impl Iterator for RawExchanges<'_> {
     type Item = RawExchange;
     fn next(&mut self) -> Option<RawExchange> {
+        let sc = self.inner.scenario;
         loop {
-            let e = self.inner.step()?;
-            if !e.lost {
-                return Some(RawExchange {
-                    ta_tsc: e.ta_tsc,
-                    tb: e.tb,
-                    te: e.te,
-                    tf_tsc: e.tf_tsc,
-                });
+            match self.inner.core.step_raw(&sc.shifts, &sc.outages)? {
+                Some(r) => return Some(r),
+                None => continue,
             }
         }
     }
@@ -553,6 +873,54 @@ mod tests {
             assert_eq!(r.tf_tsc, e.tf_tsc);
             assert_eq!(r.tb, e.tb);
             assert_eq!(r.te, e.te);
+        }
+    }
+
+    #[test]
+    fn batched_stepping_matches_stepwise_bit_for_bit() {
+        // step_batch must be pure dispatch amortization: any chunking —
+        // including chunk boundaries landing inside anomaly segments —
+        // yields the records a step() loop yields.
+        let sc = short_scenario(15)
+            .with_outage(3600.0, 4000.0)
+            .with_shift(LevelShift::forward_only(7200.0, Some(9000.0), 0.9e-3));
+        let stepwise: Vec<_> = sc.stream().collect();
+        for chunk in [1usize, 7, 64, 4096, usize::MAX] {
+            let mut stream = sc.stream();
+            let mut batched = Vec::new();
+            while stream.next_batch(&mut batched, chunk.min(8192)) > 0 {}
+            assert_eq!(stepwise.len(), batched.len(), "chunk {chunk}");
+            for (x, y) in stepwise.iter().zip(&batched) {
+                assert!(
+                    x.i == y.i
+                        && x.lost == y.lost
+                        && x.ta_tsc == y.ta_tsc
+                        && x.tf_tsc == y.tf_tsc
+                        && x.tb.to_bits() == y.tb.to_bits()
+                        && x.te.to_bits() == y.te.to_bits()
+                        && x.tg.to_bits() == y.tg.to_bits(),
+                    "chunk {chunk}: divergence at packet {}",
+                    x.i
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn raw_fill_batch_matches_iterator() {
+        let sc = crate::scenario::Scenario {
+            loss_prob: 0.05,
+            ..short_scenario(16)
+        };
+        let via_iter: Vec<_> = sc.stream().raw().collect();
+        let mut via_fill = Vec::new();
+        let mut raw = sc.stream().raw();
+        while raw.fill_batch(&mut via_fill, 100) > 0 {}
+        assert_eq!(via_iter.len(), via_fill.len());
+        for (x, y) in via_iter.iter().zip(&via_fill) {
+            assert_eq!((x.ta_tsc, x.tf_tsc), (y.ta_tsc, y.tf_tsc));
+            assert_eq!(x.tb.to_bits(), y.tb.to_bits());
+            assert_eq!(x.te.to_bits(), y.te.to_bits());
         }
     }
 

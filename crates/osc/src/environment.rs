@@ -9,9 +9,7 @@
 //! amplitude (≈0.05 PPM) but distinct oscillatory noise component of variable
 //! period between 100 to 200 minutes".
 
-use crate::components::{
-    Aging, ConstantSkew, FrequencyComponent, FrequencyRandomWalk, Sinusoid, WhiteFm,
-};
+use crate::components::{Aging, Component, ConstantSkew, FrequencyRandomWalk, Sinusoid, WhiteFm};
 use crate::oscillator::Oscillator;
 use serde::{Deserialize, Serialize};
 
@@ -45,37 +43,52 @@ pub struct OscillatorSpec {
 }
 
 impl OscillatorSpec {
-    /// Builds the oscillator with a deterministic seed.
-    pub fn build(&self, seed: u64) -> Oscillator {
-        let mut comps: Vec<Box<dyn FrequencyComponent>> = Vec::new();
-        comps.push(Box::new(ConstantSkew::from_ppm(self.skew_ppm)));
+    /// The component set in canonical order (shared by the fast and
+    /// reference constructors, so their RNG streams line up).
+    pub fn components(&self) -> Vec<Component> {
+        let mut comps: Vec<Component> = Vec::new();
+        comps.push(ConstantSkew::from_ppm(self.skew_ppm).into());
         if self.rw_sigma > 0.0 {
-            comps.push(Box::new(FrequencyRandomWalk::new(self.rw_sigma, self.rw_bound)));
+            comps.push(FrequencyRandomWalk::new(self.rw_sigma, self.rw_bound).into());
         }
         if self.osc_amplitude > 0.0 {
-            comps.push(Box::new(Sinusoid::wandering(
-                self.osc_amplitude,
-                self.osc_period.0,
-                self.osc_period.1,
-                0.7,
-            )));
+            comps.push(
+                Sinusoid::wandering(
+                    self.osc_amplitude,
+                    self.osc_period.0,
+                    self.osc_period.1,
+                    0.7,
+                )
+                .into(),
+            );
         }
         if self.diurnal_amplitude > 0.0 {
-            comps.push(Box::new(Sinusoid::fixed(
-                self.diurnal_amplitude,
-                86_400.0,
-                1.3,
-            )));
+            comps.push(Sinusoid::fixed(self.diurnal_amplitude, 86_400.0, 1.3).into());
         }
         if self.aging != 0.0 {
-            comps.push(Box::new(Aging { rate: self.aging }));
+            comps.push(Aging { rate: self.aging }.into());
         }
         if self.white_fm > 0.0 {
-            comps.push(Box::new(WhiteFm {
-                sigma_at_1s: self.white_fm,
-            }));
+            comps.push(
+                WhiteFm {
+                    sigma_at_1s: self.white_fm,
+                }
+                .into(),
+            );
         }
-        Oscillator::new(comps, seed)
+        comps
+    }
+
+    /// Builds the oscillator with a deterministic seed.
+    pub fn build(&self, seed: u64) -> Oscillator {
+        Oscillator::new(self.components(), seed)
+    }
+
+    /// Builds the pre-optimization (reference-formulation) oscillator —
+    /// bit-identical to the original implementation for this spec and seed.
+    #[cfg(feature = "reference")]
+    pub fn build_reference(&self, seed: u64) -> Oscillator {
+        Oscillator::new_reference(self.components(), seed)
     }
 }
 
@@ -138,6 +151,12 @@ impl Environment {
         self.spec().build(seed)
     }
 
+    /// Builds the environment's reference-formulation oscillator.
+    #[cfg(feature = "reference")]
+    pub fn build_reference(self, seed: u64) -> Oscillator {
+        self.spec().build_reference(seed)
+    }
+
     /// Display name matching the paper's figure legends.
     pub fn name(self) -> &'static str {
         match self {
@@ -177,8 +196,15 @@ mod tests {
                 let tau = m as f64 * tau0;
                 for i in (0..n.saturating_sub(m)).step_by(m.max(1)) {
                     let y = (phase[i + m] - phase[i]) / tau - gamma;
+                    // Worst-case component sum for the widest spec
+                    // (Laboratory): rw bound 9e-8 + sinusoid amplitudes
+                    // 1.5e-8 + 5.5e-8 + week-end aging 1.2e-8 ≈ 1.73e-7.
+                    // The margin must admit that ceiling — a tighter one
+                    // only holds for lucky draw sequences (the old 1.6×
+                    // failed whenever the walk grazed its bound while both
+                    // sinusoids peaked).
                     assert!(
-                        y.abs() < RATE_BOUND * 1.6,
+                        y.abs() < RATE_BOUND * 1.75,
                         "{}: rate error {y:.3e} at tau={tau} exceeds bound",
                         env.name()
                     );

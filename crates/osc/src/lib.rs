@@ -24,7 +24,7 @@ pub mod oscillator;
 pub mod tsc;
 
 pub use components::{
-    Aging, ConstantSkew, FrequencyComponent, FrequencyRandomWalk, Sinusoid, WhiteFm,
+    Aging, Component, ConstantSkew, FrequencyComponent, FrequencyRandomWalk, Sinusoid, WhiteFm,
 };
 pub use environment::{Environment, OscillatorSpec};
 pub use oscillator::Oscillator;

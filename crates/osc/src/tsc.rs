@@ -86,7 +86,7 @@ mod tests {
     use crate::oscillator::Oscillator;
 
     fn counter(ppm: f64) -> TscCounter {
-        let osc = Oscillator::new(vec![Box::new(ConstantSkew::from_ppm(ppm))], 3);
+        let osc = Oscillator::new(vec![ConstantSkew::from_ppm(ppm).into()], 3);
         TscCounter::new(1e9, 1_000_000, osc)
     }
 

@@ -1,8 +1,12 @@
 //! Local subset of `rand_distr`: the `Distribution` trait plus the
 //! exponential and Pareto distributions (inverse-CDF sampling), which are
-//! what the network-delay simulator draws from.
+//! what the network-delay simulator draws from, and a ziggurat
+//! [`StandardNormal`]/[`Normal`] (the same algorithm upstream uses) for the
+//! Gaussian hot paths — one keystream `u64` plus a table compare in the
+//! common case instead of Box-Muller's two draws and three libm calls.
 
 use rand::RngCore;
+use std::sync::OnceLock;
 
 /// Types that can be sampled from a distribution.
 pub trait Distribution<T> {
@@ -75,6 +79,150 @@ impl Distribution<f64> for Pareto<f64> {
     }
 }
 
+/// Ziggurat layer count and constants for the standard normal (the
+/// canonical 256-layer parameters, as in upstream `rand_distr`).
+const ZIG_R: f64 = 3.654_152_885_361_009;
+const ZIG_V: f64 = 4.928_673_233_990_11e-3;
+const ZIG_LAYERS: usize = 256;
+
+struct ZigTables {
+    /// Layer x-boundaries; `x[0] = V/f(R) > R`, `x[256] = 0`.
+    x: [f64; ZIG_LAYERS + 1],
+    /// `f[i] = exp(-x[i]²/2)`.
+    f: [f64; ZIG_LAYERS + 1],
+}
+
+fn zig_tables() -> &'static ZigTables {
+    static TABLES: OnceLock<ZigTables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let pdf = |x: f64| (-0.5 * x * x).exp();
+        let mut x = [0.0; ZIG_LAYERS + 1];
+        let mut f = [0.0; ZIG_LAYERS + 1];
+        x[0] = ZIG_V / pdf(ZIG_R);
+        x[1] = ZIG_R;
+        for i in 1..ZIG_LAYERS {
+            // Each layer has area V: x[i]·(f(x[i+1]) − f(x[i])) = V.
+            x[i + 1] = (-2.0 * (ZIG_V / x[i] + pdf(x[i])).ln()).max(0.0).sqrt();
+        }
+        x[ZIG_LAYERS] = 0.0;
+        for i in 0..=ZIG_LAYERS {
+            f[i] = pdf(x[i]);
+        }
+        ZigTables { x, f }
+    })
+}
+
+/// The standard normal distribution `N(0, 1)`, sampled with the ziggurat
+/// algorithm: the common case costs one `u64` draw, one multiply and one
+/// table compare; edges and the tail (|z| > 3.654) fall back to exact
+/// rejection sampling, so the distribution is exact, not approximate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StandardNormal;
+
+/// One ziggurat attempt driven by the keystream word `bits`; `None` means
+/// the wedge rejected and the caller must retry with a fresh word. Edge
+/// cases (wedge, tail) complete with direct draws from `rng`.
+#[inline]
+fn zig_try<R: RngCore + ?Sized>(t: &ZigTables, rng: &mut R, bits: u64) -> Option<f64> {
+    let i = (bits & 0xFF) as usize;
+    // Symmetric uniform in [-1, 1) from the top 53 bits
+    // (independent of the 8 layer-index bits).
+    let u = ((bits >> 11) as f64) * (2.0 / (1u64 << 53) as f64) - 1.0;
+    let x = u * t.x[i];
+    if x.abs() < t.x[i + 1] {
+        return Some(x); // inside the layer's rectangle: accept
+    }
+    if i == 0 {
+        // Tail sample beyond R (Marsaglia's exact method).
+        loop {
+            let u1 = (1.0 - unit_f64(rng)).max(f64::MIN_POSITIVE);
+            let u2 = 1.0 - unit_f64(rng);
+            let xt = -u1.ln() / ZIG_R;
+            if -2.0 * u2.ln() >= xt * xt {
+                return Some(if u < 0.0 { -(ZIG_R + xt) } else { ZIG_R + xt });
+            }
+        }
+    }
+    // Wedge: accept with probability proportional to the pdf gap.
+    if t.f[i + 1] + (t.f[i] - t.f[i + 1]) * unit_f64(rng) < (-0.5 * x * x).exp() {
+        Some(x)
+    } else {
+        None
+    }
+}
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let t = zig_tables();
+        loop {
+            let bits = rng.next_u64();
+            if let Some(x) = zig_try(t, rng, bits) {
+                return x;
+            }
+        }
+    }
+}
+
+impl StandardNormal {
+    /// Completes one `N(0, 1)` sample from a pre-drawn keystream word
+    /// `bits`, falling back to direct draws from `rng` for the rare
+    /// (~1.5%) wedge/tail cases. This is the primitive callers with their
+    /// own batched keystream buffers build on; the distribution is exactly
+    /// standard normal as long as `bits` is a fresh uniform word.
+    #[inline]
+    pub fn sample_with_word<R: RngCore + ?Sized>(&self, rng: &mut R, bits: u64) -> f64 {
+        match zig_try(zig_tables(), rng, bits) {
+            Some(x) => x,
+            None => self.sample(rng),
+        }
+    }
+
+    /// Fills `out` with independent `N(0, 1)` samples, reading the
+    /// common-case keystream words in batches via [`RngCore::fill_u64`]
+    /// (one batched read covers ~98% of the samples; wedge/tail cases
+    /// complete with direct draws). Statistically identical to repeated
+    /// [`Distribution::sample`], but not stream-compatible with it — the
+    /// batched read reorders keystream consumption.
+    pub fn fill<R: RngCore + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
+        const CHUNK: usize = 64;
+        let t = zig_tables();
+        let mut words = [0u64; CHUNK];
+        for chunk in out.chunks_mut(CHUNK) {
+            let words = &mut words[..chunk.len()];
+            rng.fill_u64(words);
+            for (o, &bits) in chunk.iter_mut().zip(words.iter()) {
+                *o = match zig_try(t, rng, bits) {
+                    Some(x) => x,
+                    None => self.sample(rng),
+                };
+            }
+        }
+    }
+}
+
+/// Normal distribution with the given mean and standard deviation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<F = f64> {
+    mean: F,
+    std_dev: F,
+}
+
+impl Normal<f64> {
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, ParamError> {
+        if mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0 {
+            Ok(Self { mean, std_dev })
+        } else {
+            Err(ParamError("Normal std_dev must be finite and non-negative"))
+        }
+    }
+}
+
+impl Distribution<f64> for Normal<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * StandardNormal.sample(rng)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,5 +266,167 @@ mod tests {
         assert!(Exp::new(f64::NAN).is_err());
         assert!(Pareto::new(-1.0, 2.0).is_err());
         assert!(Pareto::new(1.0, 0.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+    }
+
+    /// SplitMix64: the ziggurat consumes low bits for the layer index, so
+    /// the test RNG must have full-width diffusion (the Lcg above doesn't).
+    struct Sm(u64);
+    impl RngCore for Sm {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn ziggurat_tables_are_consistent() {
+        let t = zig_tables();
+        assert!((t.x[0] - ZIG_V / (-0.5 * ZIG_R * ZIG_R).exp()).abs() < 1e-12);
+        assert_eq!(t.x[1], ZIG_R);
+        assert_eq!(t.x[ZIG_LAYERS], 0.0);
+        // strictly decreasing boundaries, f increasing to f(0)=1
+        for i in 1..=ZIG_LAYERS {
+            assert!(t.x[i] < t.x[i - 1], "x not decreasing at {i}");
+            assert!(t.f[i] > t.f[i - 1], "f not increasing at {i}");
+        }
+        assert!((t.f[ZIG_LAYERS] - 1.0).abs() < 1e-9, "f(0) = {}", t.f[ZIG_LAYERS]);
+        // every layer i ≥ 1 has area V
+        for i in 1..ZIG_LAYERS {
+            let area = t.x[i] * (t.f[i + 1] - t.f[i]);
+            assert!((area - ZIG_V).abs() < 1e-9, "layer {i} area {area}");
+        }
+    }
+
+    #[test]
+    fn standard_normal_moments_match() {
+        let mut rng = Sm(7);
+        let n = 2_000_000usize;
+        let (mut s1, mut s2, mut s3, mut s4) = (0.0, 0.0, 0.0, 0.0);
+        let (mut gt1, mut gt2, mut gt3, mut tail) = (0usize, 0, 0, 0);
+        for _ in 0..n {
+            let z = StandardNormal.sample(&mut rng);
+            s1 += z;
+            s2 += z * z;
+            s3 += z * z * z;
+            s4 += z * z * z * z;
+            let a = z.abs();
+            if a > 1.0 {
+                gt1 += 1;
+            }
+            if a > 2.0 {
+                gt2 += 1;
+            }
+            if a > 3.0 {
+                gt3 += 1;
+            }
+            if a > ZIG_R {
+                tail += 1;
+            }
+        }
+        let nf = n as f64;
+        assert!((s1 / nf).abs() < 3e-3, "mean {}", s1 / nf);
+        assert!((s2 / nf - 1.0).abs() < 5e-3, "variance {}", s2 / nf);
+        assert!((s3 / nf).abs() < 1e-2, "skew {}", s3 / nf);
+        assert!((s4 / nf - 3.0).abs() < 5e-2, "kurtosis {}", s4 / nf);
+        let frac = |k: usize| k as f64 / nf;
+        assert!((frac(gt1) - 0.3173).abs() < 3e-3, "P(|z|>1) = {}", frac(gt1));
+        assert!((frac(gt2) - 0.0455).abs() < 1.5e-3, "P(|z|>2) = {}", frac(gt2));
+        assert!((frac(gt3) - 0.0027).abs() < 4e-4, "P(|z|>3) = {}", frac(gt3));
+        // the Marsaglia tail path is actually exercised and has the right
+        // mass: P(|z| > 3.6542) ≈ 2.58e-4
+        assert!(
+            frac(tail) > 0.5e-4 && frac(tail) < 5e-4,
+            "P(|z|>R) = {}",
+            frac(tail)
+        );
+    }
+
+    #[test]
+    fn standard_normal_quantiles_match() {
+        // Empirical CDF at a few probe points vs Φ(x).
+        let mut rng = Sm(13);
+        let n = 1_000_000usize;
+        let probes = [-2.0f64, -1.0, -0.5, 0.0, 0.5, 1.0, 2.0];
+        let phi = [0.02275, 0.15866, 0.30854, 0.5, 0.69146, 0.84134, 0.97725];
+        let mut counts = [0usize; 7];
+        for _ in 0..n {
+            let z = StandardNormal.sample(&mut rng);
+            for (j, &p) in probes.iter().enumerate() {
+                if z <= p {
+                    counts[j] += 1;
+                }
+            }
+        }
+        for j in 0..probes.len() {
+            let got = counts[j] as f64 / n as f64;
+            assert!(
+                (got - phi[j]).abs() < 2.5e-3,
+                "CDF({}) = {got} vs {}",
+                probes[j],
+                phi[j]
+            );
+        }
+    }
+
+    #[test]
+    fn normal_scales_and_shifts() {
+        let d = Normal::new(5.0, 2.0).unwrap();
+        let mut rng = Sm(99);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.02, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.08, "var {var}");
+    }
+
+    #[test]
+    fn fill_matches_sample_statistics() {
+        // The batched path must produce the same distribution as repeated
+        // sample() (it reorders keystream reads, nothing else).
+        let mut rng = Sm(21);
+        let n = 400_000;
+        let mut buf = vec![0.0; n];
+        StandardNormal.fill(&mut rng, &mut buf);
+        let nf = n as f64;
+        let mean = buf.iter().sum::<f64>() / nf;
+        let var = buf.iter().map(|z| z * z).sum::<f64>() / nf;
+        let gt2 = buf.iter().filter(|z| z.abs() > 2.0).count() as f64 / nf;
+        assert!(mean.abs() < 5e-3, "mean {mean}");
+        assert!((var - 1.0).abs() < 1e-2, "variance {var}");
+        assert!((gt2 - 0.0455).abs() < 3e-3, "P(|z|>2) = {gt2}");
+    }
+
+    #[test]
+    fn fill_is_deterministic_and_covers_odd_lengths() {
+        for len in [0usize, 1, 63, 64, 65, 200] {
+            let run = |seed: u64| {
+                let mut rng = Sm(seed);
+                let mut buf = vec![0.0; len];
+                StandardNormal.fill(&mut rng, &mut buf);
+                buf.iter().map(|z| z.to_bits()).collect::<Vec<_>>()
+            };
+            assert_eq!(run(9), run(9), "len {len}");
+            if len > 0 {
+                assert_ne!(run(9), run(10), "len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn standard_normal_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut rng = Sm(seed);
+            (0..1000)
+                .map(|_| StandardNormal.sample(&mut rng).to_bits())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
     }
 }
