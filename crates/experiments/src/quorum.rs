@@ -1,0 +1,144 @@
+//! Extension X3: quorum vs single-server synchronization under server
+//! faults.
+//!
+//! Runs the same 3-server scenario — one server develops a silent
+//! asymmetry step mid-run — four ways:
+//!
+//! 1. **single-good** — one clock pinned to a healthy server;
+//! 2. **single-bad** — one clock pinned to the faulted server (what an
+//!    unlucky single-server deployment gets);
+//! 3. **mean-all** — naive unweighted mean of all three members, no
+//!    exclusion (what a trivial combiner gets: the liar drags it);
+//! 4. **quorum** — the full health-weighted robust combination.
+//!
+//! Errors are measured against the simulator's ground truth at each
+//! round's reference instant, over the post-fault half of the run.
+
+use crate::fmt::{table, Report};
+use crate::ExpOptions;
+use tsc_netsim::{LevelShift, MultiServerScenario, ServerKind, ServerPath};
+use tsc_quorum::{QuorumClock, QuorumConfig};
+use tsc_stats::Percentiles;
+use tscclock::RawExchange;
+
+/// Runs the four variants.
+pub fn run(opt: ExpOptions) -> Report {
+    let mut r = Report::new(
+        "quorum",
+        "X3 — quorum vs single-server synchronization under a silent asymmetry fault",
+    );
+    let hours = if opt.full { 48.0 } else { 12.0 };
+    let onset = hours * 3600.0 / 2.0;
+    let delta = 2.0e-3;
+    let mut sc = MultiServerScenario::baseline(3, opt.seed).with_duration(hours * 3600.0);
+    for k in 0..3 {
+        sc.servers[k] = ServerPath::new(ServerKind::Ext);
+    }
+    sc = sc.with_server_path(
+        2,
+        ServerPath::new(ServerKind::Ext).with_shift(LevelShift::asymmetric(onset, None, delta)),
+    );
+    r.line(format!(
+        "3 × ServerExt, poll {} s, {hours} h; server 2 takes a {:.1} ms asymmetry step at {:.0} h",
+        sc.poll_period,
+        delta * 1e3,
+        onset / 3600.0
+    ));
+    r.line("post-fault absolute clock error vs ground truth (µs):");
+    r.line("");
+
+    let mut quorum = QuorumClock::new(3, QuorumConfig::paper_defaults(sc.poll_period));
+    let mut stream = sc.stream();
+    let mut samples = Vec::new();
+    let mut round_in: Vec<Option<RawExchange>> = Vec::new();
+    // per-variant |error| series over the post-fault window
+    let (mut e_good, mut e_bad, mut e_mean, mut e_quorum) =
+        (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    let mut demoted_at: Option<f64> = None;
+    while stream.next_round(&mut samples) {
+        round_in.clear();
+        round_in.extend(samples.iter().map(|s| s.delivered.then_some(s.raw)));
+        let out = quorum.process_round(&round_in);
+        let t = out.round as f64 * sc.poll_period;
+        // first demotion *after* onset (transient pre-fault demotions — a
+        // genuinely degraded episode on some seeds — don't count)
+        if demoted_at.is_none() && t > onset && out.demoted_mask & 0b100 != 0 {
+            demoted_at = Some(t);
+        }
+        if !out.combined || t <= onset {
+            continue;
+        }
+        let Some(truth) = samples
+            .iter()
+            .find(|s| s.delivered && s.raw.tf_tsc == out.tsc_ref)
+            .map(|s| s.tf_read)
+        else {
+            continue;
+        };
+        let per_server: Vec<Option<f64>> = (0..3)
+            .map(|k| quorum.server(k).absolute_time(out.tsc_ref))
+            .collect();
+        if let Some(ca) = per_server[0] {
+            e_good.push((ca - truth).abs());
+        }
+        if let Some(ca) = per_server[2] {
+            e_bad.push((ca - truth).abs());
+        }
+        let known: Vec<f64> = per_server.iter().flatten().copied().collect();
+        if !known.is_empty() {
+            let mean = known.iter().sum::<f64>() / known.len() as f64;
+            e_mean.push((mean - truth).abs());
+        }
+        e_quorum.push((out.utc_ref - truth).abs());
+    }
+
+    let mut rows = Vec::new();
+    for (name, series) in [
+        ("single-good", &e_good),
+        ("single-bad", &e_bad),
+        ("mean-all", &e_mean),
+        ("quorum", &e_quorum),
+    ] {
+        let p = Percentiles::from_data(series).expect("data");
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}", p.p50 * 1e6),
+            format!("{:.1}", p.p99 * 1e6),
+        ]);
+        r.metrics
+            .push((format!("{}_median_us", name.replace('-', "_")), p.p50 * 1e6));
+    }
+    r.body.push_str(&table(&["variant", "median", "p99"], &rows));
+    r.line("");
+    match demoted_at {
+        Some(at) => r.metric("demotion_latency_exchanges", (at - onset) / sc.poll_period),
+        None => r.line("  (faulty server was never demoted!)"),
+    }
+    let gain = r.get("single_bad_median_us").unwrap_or(f64::NAN)
+        / r.get("quorum_median_us").unwrap_or(f64::NAN);
+    r.metric("quorum_vs_bad_gain", gain);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quorum_beats_the_bad_server_and_the_naive_mean() {
+        let rep = run(ExpOptions::default());
+        let good = rep.get("single_good_median_us").unwrap();
+        let bad = rep.get("single_bad_median_us").unwrap();
+        let mean = rep.get("mean_all_median_us").unwrap();
+        let quorum = rep.get("quorum_median_us").unwrap();
+        // the fault bites the pinned clock by ~delta/2 = 1 ms
+        assert!(bad > 700.0, "bad-server median {bad} µs");
+        // the naive mean inherits ~a third of the bias
+        assert!(mean > 1.5 * good, "naive mean {mean} vs good {good}");
+        // the quorum stays at healthy-single level
+        assert!(quorum < 1.5 * good, "quorum {quorum} vs good {good}");
+        assert!(quorum < 0.35 * bad, "quorum {quorum} vs bad {bad}");
+        let latency = rep.get("demotion_latency_exchanges").unwrap();
+        assert!(latency <= 200.0, "demotion latency {latency}");
+    }
+}

@@ -24,6 +24,12 @@
 //!   └──────────────────────────────→ ClockSummary (slot i) ─┘
 //! ```
 //!
+//! The multi-source axis ([`quorum`]) replays *quorums* instead of single
+//! clocks: one fleet entry = K per-server clocks + health scoring + the
+//! robust combiner (`tsc-quorum`), driven by a seeded multi-server
+//! scenario (`tsc_netsim::MultiServerScenario`). Same engine, same
+//! determinism contract.
+//!
 //! ## Determinism
 //!
 //! A clock's packet stream is totally ordered *within its shard* (a shard
@@ -47,9 +53,14 @@
 //! machine before citing a scaling factor.
 
 pub mod pool;
+pub mod quorum;
 pub mod replay;
 
 pub use pool::WorkerPool;
+pub use quorum::{
+    replay_quorum_entry, replay_quorum_fleet, replay_quorum_sequential, total_quorum_delivered,
+    total_quorum_rounds, QuorumFleetConfig, QuorumSummary,
+};
 pub use replay::{
     replay_clock, replay_fleet, replay_sequential, total_delivered, ClockSummary, FleetConfig,
 };

@@ -71,11 +71,11 @@ pub struct ClockSummary {
     pub digest: u64,
 }
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 #[inline]
-fn fnv(mut h: u64, word: u64) -> u64 {
+pub(crate) fn fnv(mut h: u64, word: u64) -> u64 {
     for shift in [0u32, 32] {
         h ^= (word >> shift) & 0xffff_ffff;
         h = h.wrapping_mul(FNV_PRIME);

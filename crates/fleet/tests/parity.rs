@@ -7,8 +7,14 @@
 //! final estimates.
 
 use proptest::prelude::*;
-use tsc_fleet::{replay_fleet, replay_sequential, FleetConfig, WorkerPool};
-use tsc_netsim::{LevelShift, Scenario, ServerKind};
+use tsc_fleet::{
+    replay_fleet, replay_quorum_fleet, replay_quorum_sequential, replay_sequential, FleetConfig,
+    QuorumFleetConfig, WorkerPool,
+};
+use tsc_netsim::{
+    LevelShift, MultiServerScenario, Scenario, ServerKind, ServerPath,
+};
+use tsc_quorum::QuorumConfig;
 use tscclock::ClockConfig;
 
 /// Thread counts to exercise: env `FLEET_PARITY_THREADS` (e.g. "1,4"), or
@@ -76,6 +82,66 @@ fn chunk_size_cannot_change_results() {
         cfg.chunk = chunk;
         let mut pool = WorkerPool::new(3);
         assert_eq!(replay_fleet(&mut pool, &cfg), expected, "chunk {chunk}");
+    }
+}
+
+/// Multi-source replay: one fleet entry = K clocks + health + combiner.
+/// An eventful template (per-server outage, one silently-asymmetric
+/// server, loss) exercises demotion and exclusion inside every entry.
+fn eventful_quorum_fleet(entries: usize) -> QuorumFleetConfig {
+    let scenario = MultiServerScenario::baseline(3, 0)
+        .with_poll_period(64.0)
+        .with_duration(64.0 * 500.0)
+        .with_server_path(
+            1,
+            ServerPath::new(ServerKind::Int).with_outage(64.0 * 150.0, 64.0 * 250.0),
+        )
+        .with_server_path(
+            2,
+            ServerPath::new(ServerKind::Ext)
+                .with_shift(LevelShift::asymmetric(64.0 * 300.0, None, 2e-3)),
+        );
+    QuorumFleetConfig::new(entries, 99, scenario, QuorumConfig::paper_defaults(64.0))
+}
+
+#[test]
+fn quorum_fleet_replay_is_bit_exact_at_every_thread_count() {
+    let cfg = eventful_quorum_fleet(12);
+    let expected = replay_quorum_sequential(&cfg);
+    assert_eq!(expected.len(), 12);
+    for s in &expected {
+        assert_eq!(s.rounds, 500, "entry {}", s.entry);
+        assert!(s.combined_rounds > 400, "entry {}", s.entry);
+        assert!(s.p_hat.is_some());
+    }
+    // the scenario's faults actually bite: the dark and lying servers are
+    // demoted in (at least most) entries
+    let demotions = expected.iter().filter(|s| s.demoted_mask != 0).count();
+    assert!(demotions > 8, "faults inert in {demotions}/12 entries");
+    for threads in parity_thread_counts() {
+        let mut pool = WorkerPool::new(threads);
+        let got = replay_quorum_fleet(&mut pool, &cfg);
+        assert_eq!(got.len(), expected.len(), "threads {threads}");
+        for (g, e) in got.iter().zip(&expected) {
+            assert_eq!(
+                g.digest, e.digest,
+                "entry {} diverged at {} threads",
+                e.entry, threads
+            );
+            assert_eq!(g, e, "summary mismatch at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn quorum_fleet_chunk_size_cannot_change_results() {
+    let cfg0 = eventful_quorum_fleet(6);
+    let expected = replay_quorum_sequential(&cfg0);
+    for chunk in [1, 2, 5, 100] {
+        let mut cfg = cfg0.clone();
+        cfg.chunk = chunk;
+        let mut pool = WorkerPool::new(3);
+        assert_eq!(replay_quorum_fleet(&mut pool, &cfg), expected, "chunk {chunk}");
     }
 }
 

@@ -21,8 +21,14 @@
 //! | ServerInt | GPS       | 0.89 ms | 5    | 50 µs          |
 //! | ServerExt | Atomic    | 14.2 ms | ~10  | 500 µs         |
 
+//!
+//! The multi-server layer ([`multi`]) drives K server paths from one host
+//! timeline — the measurement side of quorum synchronization (see
+//! `crates/quorum`).
+
 pub mod delay;
 pub mod host;
+pub mod multi;
 pub mod scenario;
 pub mod server;
 pub mod shifts;
@@ -30,6 +36,7 @@ pub mod sim;
 
 pub use delay::{CongestionParams, PathDelay};
 pub use host::HostTimestamping;
+pub use multi::{MultiServerScenario, MultiServerStream, RoundSample, ServerPath, MAX_SERVERS};
 pub use scenario::{Scenario, ServerKind};
 pub use server::{ServerFault, ServerModel};
 pub use shifts::{LevelShift, ShiftSchedule};

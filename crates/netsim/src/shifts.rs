@@ -45,6 +45,23 @@ impl LevelShift {
         }
     }
 
+    /// An **asymmetry step**: `+delta/2` forward, `−delta/2` backward, so
+    /// the RTT (and every RTT-derived quality signal) is unchanged while
+    /// the asymmetry Δ moves by `delta` — a route change that silently
+    /// biases the server's apparent offset by `delta/2`. §4.3 proves this
+    /// is unobservable from the exchanges of the affected server alone
+    /// ("the error due to path asymmetry cannot be measured"); only
+    /// disagreement with *other* servers can expose it, which is exactly
+    /// what the quorum combiner's exclusion rule tests against.
+    pub fn asymmetric(at: f64, until: Option<f64>, delta: f64) -> Self {
+        Self {
+            at,
+            until,
+            fwd: delta / 2.0,
+            back: -delta / 2.0,
+        }
+    }
+
     fn active_at(&self, t: f64) -> bool {
         t >= self.at && self.until.is_none_or(|u| t < u)
     }
@@ -123,6 +140,17 @@ mod tests {
         let s = ShiftSchedule::new(vec![LevelShift::forward_only(100.0, None, 0.9e-3)]);
         assert!((s.asymmetry_change_at(200.0) - 0.9e-3).abs() < 1e-12);
         assert_eq!(s.asymmetry_change_at(99.0), 0.0);
+    }
+
+    #[test]
+    fn asymmetric_shift_preserves_rtt_and_moves_delta() {
+        let s = ShiftSchedule::new(vec![LevelShift::asymmetric(100.0, None, 2e-3)]);
+        let (f, b) = s.deltas_at(150.0);
+        assert!((f - 1e-3).abs() < 1e-12 && (b + 1e-3).abs() < 1e-12);
+        // RTT delta is f + b = 0: invisible to RTT-based detectors
+        assert!((f + b).abs() < 1e-15);
+        assert!((s.asymmetry_change_at(150.0) - 2e-3).abs() < 1e-12);
+        assert_eq!(s.deltas_at(50.0), (0.0, 0.0));
     }
 
     #[test]

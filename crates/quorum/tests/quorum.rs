@@ -1,0 +1,284 @@
+//! Integration tests of the quorum layer against the real network
+//! simulator: the K-identical sanity anchor, the ISSUE's fault-injection
+//! acceptance scenario, and a property test over quorum sizes, fault
+//! schedules and combiner parameters.
+
+use proptest::prelude::*;
+use tsc_netsim::{
+    CongestionParams, LevelShift, MultiServerScenario, RoundSample, Scenario, ServerFault,
+    ServerKind, ServerPath,
+};
+use tscclock::{RawExchange, TscNtpClock};
+use tsc_quorum::{QuorumClock, QuorumConfig};
+
+/// Runs a multi-server scenario through a quorum clock, collecting for
+/// each round: the quorum output plus (truth) the true time at each
+/// delivered `Tf` read.
+struct Replay {
+    /// Per-round: (output, per-server sample).
+    rounds: Vec<(tsc_quorum::QuorumOutput, Vec<RoundSample>)>,
+}
+
+fn replay(sc: &MultiServerScenario, cfg: QuorumConfig) -> (QuorumClock, Replay) {
+    let mut q = QuorumClock::new(sc.k(), cfg);
+    let mut stream = sc.stream();
+    let mut buf = Vec::new();
+    let mut round_in: Vec<Option<RawExchange>> = Vec::new();
+    let mut rounds = Vec::new();
+    while stream.next_round(&mut buf) {
+        round_in.clear();
+        round_in.extend(buf.iter().map(|s| s.delivered.then_some(s.raw)));
+        let out = q.process_round(&round_in);
+        rounds.push((out, buf.clone()));
+    }
+    (q, Replay { rounds })
+}
+
+/// Mean absolute error of server `k`'s own clock over the last `tail`
+/// combined rounds, measured against the simulator's ground truth at each
+/// round's delivered `Tf` read of that server.
+fn server_tail_error(q: &QuorumClock, r: &Replay, k: usize, tail: usize) -> f64 {
+    let xs: Vec<f64> = r
+        .rounds
+        .iter()
+        .rev()
+        .filter(|(_, samples)| samples[k].delivered)
+        .take(tail)
+        .map(|(_, samples)| {
+            let s = &samples[k];
+            let ca = q.server(k).absolute_time(s.raw.tf_tsc).expect("aligned");
+            (ca - s.tf_read).abs()
+        })
+        .collect();
+    assert!(!xs.is_empty(), "server {k} never delivered");
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Mean absolute error of the *combined* clock over the last `tail`
+/// combined rounds, evaluated at each round's reference instant.
+fn combined_tail_error(r: &Replay, tail: usize) -> f64 {
+    let xs: Vec<f64> = r
+        .rounds
+        .iter()
+        .rev()
+        .filter(|(out, _)| out.combined)
+        .take(tail)
+        .map(|(out, samples)| {
+            // truth at tsc_ref: the tf_read of the sample that supplied it
+            let truth = samples
+                .iter()
+                .filter(|s| s.delivered && s.raw.tf_tsc == out.tsc_ref)
+                .map(|s| s.tf_read)
+                .next()
+                .expect("tsc_ref comes from a delivered sample");
+            (out.utc_ref - truth).abs()
+        })
+        .collect();
+    assert!(!xs.is_empty(), "no combined rounds");
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// The u32-mask capacity invariant is encoded in two crates (tsc-quorum
+/// must not depend on the simulator); they must never drift apart.
+#[test]
+fn max_servers_matches_netsim() {
+    assert_eq!(tsc_quorum::MAX_SERVERS, tsc_netsim::MAX_SERVERS);
+}
+
+/// Sanity anchor: a quorum of K identical healthy members fed the *same*
+/// exchange stream must be bit-near (≤ 1e-12 relative + 50 ps floor) the
+/// single-server clock on those exchanges — the combination must add
+/// nothing when there is nothing to combine.
+#[test]
+fn k_identical_members_are_bit_near_the_single_clock() {
+    let sc = Scenario::baseline(5).with_duration(8.0 * 3600.0);
+    let cfg = QuorumConfig::paper_defaults(sc.poll_period);
+    for k in [1usize, 3, 5] {
+        let mut q = QuorumClock::new(k, cfg);
+        let mut single = TscNtpClock::new(cfg.clock);
+        let mut round: Vec<Option<RawExchange>> = Vec::new();
+        let mut checked = 0usize;
+        for ex in sc.stream().raw() {
+            single.process(ex);
+            round.clear();
+            round.resize(k, Some(ex));
+            let out = q.process_round(&round);
+            if out.combined {
+                let want = single.absolute_time(out.tsc_ref).expect("aligned");
+                let err = (out.utc_ref - want).abs();
+                let bound = 1e-12 * want.abs() + 50e-12;
+                assert!(
+                    err <= bound,
+                    "K={k}: combined {} vs single {want} (err {err:.3e})",
+                    out.utc_ref
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 1000, "K={k}: only {checked} combined rounds");
+    }
+}
+
+/// The ISSUE's fault-injection acceptance scenario: 3 servers, one
+/// develops a ≥1 ms mid-run asymmetry step. The combiner must demote the
+/// faulty server within 200 exchanges, and the combined clock's final
+/// error must stay within 1.5× of the best healthy member's.
+#[test]
+fn asymmetry_step_is_demoted_within_200_exchanges_and_error_contained() {
+    // ServerExt paths: their ≈6.8 ms backward minimum has room for the
+    // −1 ms leg of a 2 ms asymmetry step, so the fault is *truly* silent
+    // (RTT bit-unchanged) — the hardest version of the scenario.
+    let onset = 6.0 * 3600.0;
+    let mut sc = MultiServerScenario::baseline(3, 902).with_duration(12.0 * 3600.0);
+    for k in 0..3 {
+        sc.servers[k] = ServerPath::new(ServerKind::Ext);
+    }
+    sc = sc.with_server_path(
+        2,
+        ServerPath::new(ServerKind::Ext)
+            .with_shift(LevelShift::asymmetric(onset, None, 2.0e-3)),
+    );
+    let (q, r) = replay(&sc, QuorumConfig::paper_defaults(sc.poll_period));
+
+    // demotion latency: rounds (= exchanges of the faulty server) from
+    // fault onset to the first round with server 2 demoted
+    let onset_round = (onset / sc.poll_period) as u64;
+    let demoted_at = r
+        .rounds
+        .iter()
+        .find(|(out, _)| out.round > onset_round && out.demoted_mask & 0b100 != 0)
+        .map(|(out, _)| out.round)
+        .expect("faulty server must be demoted");
+    let latency = demoted_at - onset_round;
+    assert!(latency <= 200, "demotion took {latency} exchanges");
+    // ... and it stays demoted to the end (the fault is permanent)
+    let (last_out, _) = r.rounds.last().unwrap();
+    assert!(last_out.demoted_mask & 0b100 != 0);
+    assert_eq!(last_out.demoted_mask & 0b011, 0, "healthy members demoted");
+
+    // final accuracy: combined vs best healthy member, tail-averaged
+    let tail = 50;
+    let e_combined = combined_tail_error(&r, tail);
+    let e_best = server_tail_error(&q, &r, 0, tail).min(server_tail_error(&q, &r, 1, tail));
+    let e_faulty = server_tail_error(&q, &r, 2, tail);
+    assert!(
+        e_combined <= 1.5 * e_best,
+        "combined {e_combined:.2e} vs best healthy {e_best:.2e}"
+    );
+    // sanity of the scenario itself: the faulted member's own clock is
+    // dragged by ~the asymmetry bias, an order beyond the healthy ones
+    assert!(
+        e_faulty > 4.0 * e_best,
+        "fault had no effect? faulty {e_faulty:.2e}, healthy {e_best:.2e}"
+    );
+}
+
+/// A server that goes dark mid-run is demoted on staleness and the quorum
+/// keeps serving time from the survivors.
+#[test]
+fn outage_demotes_and_quorum_rides_through() {
+    let sc = MultiServerScenario::baseline(3, 77)
+        .with_duration(10.0 * 3600.0)
+        .with_server_path(
+            1,
+            ServerPath::new(ServerKind::Int).with_outage(4.0 * 3600.0, 9.0 * 3600.0),
+        );
+    let (q, r) = replay(&sc, QuorumConfig::paper_defaults(sc.poll_period));
+    let dark = r
+        .rounds
+        .iter()
+        .filter(|(out, _)| {
+            let t = out.round as f64 * sc.poll_period;
+            (4.0 * 3600.0..9.0 * 3600.0).contains(&t)
+        })
+        .collect::<Vec<_>>();
+    assert!(dark.iter().all(|(out, _)| out.delivered_mask & 0b010 == 0));
+    assert!(
+        dark.iter().filter(|(out, _)| out.combined).count() > dark.len() * 9 / 10,
+        "quorum must keep combining through the outage"
+    );
+    assert!(
+        dark.last().unwrap().0.demoted_mask & 0b010 != 0,
+        "dark server must be demoted"
+    );
+    let e = combined_tail_error(&r, 50);
+    assert!(e < 200e-6, "combined error after outage: {e:.2e}");
+    let _ = q;
+}
+
+proptest! {
+    /// Over quorum sizes, fault schedules and combiner parameters: the
+    /// combined clock's tail error never exceeds the best healthy
+    /// member's by more than that member's disagreement tolerance (its
+    /// point-error-bound-derived allowance).
+    #[test]
+    fn combined_error_bounded_by_best_healthy_plus_tolerance(
+        k in 1usize..=5,
+        seed in 0u64..1000,
+        fault_kind in 0u8..4,
+        tol_mult in 1.0f64..4.0,
+        tol_floor in 100e-6f64..400e-6,
+    ) {
+        let mut sc = MultiServerScenario::baseline(k, seed).with_duration(6.0 * 3600.0);
+        // fault a strict minority (the quorum premise)
+        let faulted = (k - 1) / 2;
+        for f in 0..faulted {
+            let path = ServerPath::new(ServerKind::Int);
+            let onset = 2.0 * 3600.0 + f as f64 * 600.0;
+            sc.servers[k - 1 - f] = match fault_kind {
+                0 => path.with_shift(LevelShift::asymmetric(onset, None, 1.5e-3)),
+                1 => path.with_outage(onset, onset + 2.0 * 3600.0),
+                2 => path.with_fault(ServerFault {
+                    start: onset,
+                    end: onset + 1800.0,
+                    offset: 0.05,
+                }),
+                _ => path.with_shift(LevelShift::forward_only(onset, None, 1.2e-3)),
+            };
+        }
+        let mut cfg = QuorumConfig::paper_defaults(sc.poll_period);
+        cfg.combiner.tol_mult = tol_mult;
+        cfg.combiner.tol_floor = tol_floor;
+        let (q, r) = replay(&sc, cfg);
+        let tail = 40;
+        let e_combined = combined_tail_error(&r, tail);
+        let healthy = 0..(k - faulted);
+        let (mut e_best, mut best_k) = (f64::INFINITY, 0);
+        for h in healthy {
+            let e = server_tail_error(&q, &r, h, tail);
+            if e < e_best {
+                e_best = e;
+                best_k = h;
+            }
+        }
+        let allowance = cfg.combiner.tolerance(q.point_error_bound(best_k));
+        prop_assert!(
+            e_combined <= e_best + allowance,
+            "combined {:.2e} vs best healthy {:.2e} + allowance {:.2e}",
+            e_combined, e_best, allowance
+        );
+    }
+}
+
+/// Shared-bottleneck congestion inflates every path at once; the quorum
+/// must not demote anybody for a correlated slowdown.
+#[test]
+fn shared_bottleneck_does_not_demote_healthy_servers() {
+    let sc = MultiServerScenario::baseline(3, 55)
+        .with_duration(8.0 * 3600.0)
+        .with_bottleneck(CongestionParams {
+            mean_off: 900.0,
+            mean_on: 240.0,
+            scale: 1.5e-3,
+            shape: 1.5,
+        });
+    let (q, r) = replay(&sc, QuorumConfig::paper_defaults(sc.poll_period));
+    let (last_out, _) = r.rounds.last().unwrap();
+    assert_eq!(
+        last_out.demoted_mask, 0,
+        "correlated congestion demoted someone (trusts: {:?})",
+        (0..3).map(|k| q.trust(k)).collect::<Vec<_>>()
+    );
+    let e = combined_tail_error(&r, 50);
+    assert!(e < 500e-6, "combined error under shared congestion: {e:.2e}");
+}

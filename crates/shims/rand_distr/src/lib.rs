@@ -1,9 +1,12 @@
 //! Local subset of `rand_distr`: the `Distribution` trait plus the
-//! exponential and Pareto distributions (inverse-CDF sampling), which are
-//! what the network-delay simulator draws from, and a ziggurat
-//! [`StandardNormal`]/[`Normal`] (the same algorithm upstream uses) for the
-//! Gaussian hot paths — one keystream `u64` plus a table compare in the
-//! common case instead of Box-Muller's two draws and three libm calls.
+//! exponential and Pareto distributions, and ziggurat samplers (the same
+//! algorithm upstream uses) for the two hot-path distributions — a
+//! [`StandardNormal`]/[`Normal`] for the Gaussian draws and an [`Exp1`]
+//! standard exponential backing [`Exp`]. The common case of either costs
+//! one keystream `u64`, one multiply and a table compare instead of the
+//! two-draw/multi-libm-call classic formulations (Box-Muller, `−ln(u)`);
+//! edge layers and tails fall back to exact rejection sampling, so both
+//! distributions are exact, not approximate.
 
 use rand::RngCore;
 use std::sync::OnceLock;
@@ -49,10 +52,19 @@ impl Exp<f64> {
     }
 }
 
-impl Distribution<f64> for Exp<f64> {
-    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+impl Exp<f64> {
+    /// The original inverse-CDF formulation (`−ln(1−u)/λ`): one uniform and
+    /// one `ln` per draw. Retained as the ground truth of the ziggurat
+    /// parity tests; [`Distribution::sample`] now routes through [`Exp1`].
+    pub fn sample_inverse_cdf<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
         // u ∈ [0,1); 1−u ∈ (0,1] so ln is finite.
         -(1.0 - unit_f64(rng)).ln() / self.lambda
+    }
+}
+
+impl Distribution<f64> for Exp<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        Exp1.sample(rng) / self.lambda
     }
 }
 
@@ -192,6 +204,124 @@ impl StandardNormal {
             rng.fill_u64(words);
             for (o, &bits) in chunk.iter_mut().zip(words.iter()) {
                 *o = match zig_try(t, rng, bits) {
+                    Some(x) => x,
+                    None => self.sample(rng),
+                };
+            }
+        }
+    }
+}
+
+/// Ziggurat constants for the standard exponential (the canonical
+/// 256-layer parameters, as in upstream `rand_distr`).
+const ZIG_EXP_R: f64 = 7.697_117_470_131_05;
+const ZIG_EXP_V: f64 = 3.949_659_822_581_557e-3;
+
+struct ZigExpTables {
+    /// Layer x-boundaries; `x[0] = V/f(R) > R`, `x[256] = 0`.
+    x: [f64; ZIG_LAYERS + 1],
+    /// `f[i] = exp(-x[i])`.
+    f: [f64; ZIG_LAYERS + 1],
+}
+
+fn zig_exp_tables() -> &'static ZigExpTables {
+    static TABLES: OnceLock<ZigExpTables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let pdf = |x: f64| (-x).exp();
+        let mut x = [0.0; ZIG_LAYERS + 1];
+        let mut f = [0.0; ZIG_LAYERS + 1];
+        x[0] = ZIG_EXP_V / pdf(ZIG_EXP_R);
+        x[1] = ZIG_EXP_R;
+        for i in 1..ZIG_LAYERS {
+            // Each layer has area V: x[i]·(f(x[i+1]) − f(x[i])) = V.
+            x[i + 1] = (-(ZIG_EXP_V / x[i] + pdf(x[i])).ln()).max(0.0);
+        }
+        x[ZIG_LAYERS] = 0.0;
+        for i in 0..=ZIG_LAYERS {
+            f[i] = pdf(x[i]);
+        }
+        ZigExpTables { x, f }
+    })
+}
+
+/// The standard exponential distribution `Exp(1)`, sampled with the
+/// ziggurat algorithm: the common case costs one `u64` draw, one multiply
+/// and one table compare — no `ln`. Edge layers fall back to exact wedge
+/// rejection and the tail (`x > 7.697`) to the memoryless identity
+/// `R + Exp(1)`, so the distribution is exact, not approximate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Exp1;
+
+/// One exponential-ziggurat attempt driven by the keystream word `bits`;
+/// `None` means the wedge rejected and the caller must retry with a fresh
+/// word. The tail completes with direct draws from `rng`.
+#[inline]
+fn zig_exp_try<R: RngCore + ?Sized>(
+    t: &ZigExpTables,
+    rng: &mut R,
+    bits: u64,
+) -> Option<f64> {
+    let i = (bits & 0xFF) as usize;
+    // Uniform in [0, 1) from the top 53 bits (independent of the 8
+    // layer-index bits).
+    let u = ((bits >> 11) as f64) * (1.0 / (1u64 << 53) as f64);
+    let x = u * t.x[i];
+    if x < t.x[i + 1] {
+        return Some(x); // inside the layer's rectangle: accept
+    }
+    if i == 0 {
+        // Tail: exponential beyond R is R + Exp(1) (memorylessness); one
+        // inverse-CDF draw completes it exactly.
+        return Some(ZIG_EXP_R - (1.0 - unit_f64(rng)).ln());
+    }
+    // Wedge: accept with probability proportional to the pdf gap.
+    if t.f[i + 1] + (t.f[i] - t.f[i + 1]) * unit_f64(rng) < (-x).exp() {
+        Some(x)
+    } else {
+        None
+    }
+}
+
+impl Distribution<f64> for Exp1 {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let t = zig_exp_tables();
+        loop {
+            let bits = rng.next_u64();
+            if let Some(x) = zig_exp_try(t, rng, bits) {
+                return x;
+            }
+        }
+    }
+}
+
+impl Exp1 {
+    /// Completes one `Exp(1)` sample from a pre-drawn keystream word
+    /// `bits`, falling back to direct draws from `rng` for the rare
+    /// (~1.2%) wedge/tail cases — the batched-keystream primitive, mirror
+    /// of [`StandardNormal::sample_with_word`]. Exactly exponential as
+    /// long as `bits` is a fresh uniform word.
+    #[inline]
+    pub fn sample_with_word<R: RngCore + ?Sized>(&self, rng: &mut R, bits: u64) -> f64 {
+        match zig_exp_try(zig_exp_tables(), rng, bits) {
+            Some(x) => x,
+            None => self.sample(rng),
+        }
+    }
+
+    /// Fills `out` with independent `Exp(1)` samples, reading the
+    /// common-case keystream words in batches via [`RngCore::fill_u64`],
+    /// mirror of [`StandardNormal::fill`]. Statistically identical to
+    /// repeated [`Distribution::sample`], but not stream-compatible with
+    /// it — the batched read reorders keystream consumption.
+    pub fn fill<R: RngCore + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
+        const CHUNK: usize = 64;
+        let t = zig_exp_tables();
+        let mut words = [0u64; CHUNK];
+        for chunk in out.chunks_mut(CHUNK) {
+            let words = &mut words[..chunk.len()];
+            rng.fill_u64(words);
+            for (o, &bits) in chunk.iter_mut().zip(words.iter()) {
+                *o = match zig_exp_try(t, rng, bits) {
                     Some(x) => x,
                     None => self.sample(rng),
                 };
@@ -410,6 +540,179 @@ mod tests {
                 let mut buf = vec![0.0; len];
                 StandardNormal.fill(&mut rng, &mut buf);
                 buf.iter().map(|z| z.to_bits()).collect::<Vec<_>>()
+            };
+            assert_eq!(run(9), run(9), "len {len}");
+            if len > 0 {
+                assert_ne!(run(9), run(10), "len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn exp_ziggurat_tables_are_consistent() {
+        let t = zig_exp_tables();
+        assert!((t.x[0] - ZIG_EXP_V / (-ZIG_EXP_R).exp()).abs() < 1e-9);
+        assert_eq!(t.x[1], ZIG_EXP_R);
+        assert_eq!(t.x[ZIG_LAYERS], 0.0);
+        // strictly decreasing boundaries, f increasing to f(0)=1
+        for i in 1..=ZIG_LAYERS {
+            assert!(t.x[i] < t.x[i - 1], "x not decreasing at {i}");
+            assert!(t.f[i] > t.f[i - 1], "f not increasing at {i}");
+        }
+        assert!((t.f[ZIG_LAYERS] - 1.0).abs() < 1e-12, "f(0) = {}", t.f[ZIG_LAYERS]);
+        // every layer i ≥ 1 has area V
+        for i in 1..ZIG_LAYERS {
+            let area = t.x[i] * (t.f[i + 1] - t.f[i]);
+            assert!((area - ZIG_EXP_V).abs() < 1e-9, "layer {i} area {area}");
+        }
+    }
+
+    /// Moment/tail parity of the ziggurat exponential against the retained
+    /// `−ln(1−u)` inverse-CDF path: same mean, variance, skewness and tail
+    /// masses to within sampling error, on independent streams.
+    #[test]
+    fn exp_ziggurat_matches_inverse_cdf_moments_and_tails() {
+        let d = Exp::new(1.0).unwrap();
+        let n = 2_000_000usize;
+        let collect = |samples: Box<dyn Iterator<Item = f64>>| {
+            let (mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0);
+            let (mut t1, mut t3, mut t8) = (0usize, 0, 0);
+            for x in samples {
+                assert!(x >= 0.0, "exponential sample negative: {x}");
+                s1 += x;
+                s2 += x * x;
+                s3 += x * x * x;
+                if x > 1.0 {
+                    t1 += 1;
+                }
+                if x > 3.0 {
+                    t3 += 1;
+                }
+                // beyond the ziggurat R: the Marsaglia tail path
+                if x > 8.0 {
+                    t8 += 1;
+                }
+            }
+            let nf = n as f64;
+            [s1 / nf, s2 / nf, s3 / nf, t1 as f64 / nf, t3 as f64 / nf, t8 as f64 / nf]
+        };
+        let mut zig_rng = Sm(17);
+        let zig = collect(Box::new((0..n).map(move |_| d.sample(&mut zig_rng))));
+        let mut ln_rng = Sm(18);
+        let ln = collect(Box::new(
+            (0..n).map(move |_| d.sample_inverse_cdf(&mut ln_rng)),
+        ));
+        // Exp(1) truth: E=1, E[x²]=2, E[x³]=6, P(>1)=e⁻¹, P(>3)=e⁻³, P(>8)=e⁻⁸.
+        let truth = [
+            1.0,
+            2.0,
+            6.0,
+            (-1.0f64).exp(),
+            (-3.0f64).exp(),
+            (-8.0f64).exp(),
+        ];
+        let tol = [3e-3, 1.5e-2, 1e-1, 1.5e-3, 3e-4, 2e-5];
+        for (k, name) in ["mean", "E[x²]", "E[x³]", "P(>1)", "P(>3)", "P(>8)"]
+            .iter()
+            .enumerate()
+        {
+            assert!(
+                (zig[k] - truth[k]).abs() < tol[k],
+                "ziggurat {name}: {} vs {}",
+                zig[k],
+                truth[k]
+            );
+            assert!(
+                (zig[k] - ln[k]).abs() < 2.0 * tol[k],
+                "{name} diverges from ln path: {} vs {}",
+                zig[k],
+                ln[k]
+            );
+        }
+        // the tail path fires with the right (tiny but nonzero) mass
+        assert!(zig[5] > 0.0, "Exp(1) tail beyond 8 never sampled");
+    }
+
+    #[test]
+    fn exp_quantiles_match_inverse_cdf() {
+        // Empirical CDF at probe points vs 1 − e⁻ˣ, for both paths.
+        let d = Exp::new(1.0).unwrap();
+        let n = 1_000_000usize;
+        let probes = [0.1f64, 0.5, 1.0, 2.0, 4.0, ZIG_EXP_R];
+        let run = |ziggurat: bool, seed: u64| {
+            let mut rng = Sm(seed);
+            let mut counts = [0usize; 6];
+            for _ in 0..n {
+                let x = if ziggurat {
+                    d.sample(&mut rng)
+                } else {
+                    d.sample_inverse_cdf(&mut rng)
+                };
+                for (j, &p) in probes.iter().enumerate() {
+                    if x <= p {
+                        counts[j] += 1;
+                    }
+                }
+            }
+            counts
+        };
+        let zig = run(true, 23);
+        let ln = run(false, 24);
+        for (j, &p) in probes.iter().enumerate() {
+            let cdf = 1.0 - (-p).exp();
+            for (name, got) in [("ziggurat", zig[j]), ("ln", ln[j])] {
+                let got = got as f64 / n as f64;
+                assert!(
+                    (got - cdf).abs() < 2.5e-3,
+                    "{name} CDF({p}) = {got} vs {cdf}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exp_lambda_scales_both_paths() {
+        let d = Exp::new(4.0).unwrap();
+        let mut rng = Sm(31);
+        let n = 400_000;
+        let mean_zig = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        let mean_ln = (0..n).map(|_| d.sample_inverse_cdf(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean_zig - 0.25).abs() < 2e-3, "ziggurat mean {mean_zig}");
+        assert!((mean_ln - 0.25).abs() < 2e-3, "ln mean {mean_ln}");
+    }
+
+    #[test]
+    fn exp1_fill_and_sample_with_word_match_sample_statistics() {
+        let n = 400_000;
+        let mut buf = vec![0.0; n];
+        let mut rng = Sm(41);
+        Exp1.fill(&mut rng, &mut buf);
+        let nf = n as f64;
+        let mean = buf.iter().sum::<f64>() / nf;
+        let var = buf.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / nf;
+        let t1 = buf.iter().filter(|&&x| x > 1.0).count() as f64 / nf;
+        assert!((mean - 1.0).abs() < 5e-3, "fill mean {mean}");
+        assert!((var - 1.0).abs() < 1.5e-2, "fill variance {var}");
+        assert!((t1 - (-1.0f64).exp()).abs() < 3e-3, "fill P(>1) {t1}");
+        // caller-batched words: same distribution
+        let mut rng = Sm(43);
+        let mut mean_w = 0.0;
+        for _ in 0..n {
+            let bits = rng.next_u64();
+            mean_w += Exp1.sample_with_word(&mut rng, bits);
+        }
+        mean_w /= nf;
+        assert!((mean_w - 1.0).abs() < 5e-3, "sample_with_word mean {mean_w}");
+    }
+
+    #[test]
+    fn exp1_fill_is_deterministic_and_covers_odd_lengths() {
+        for len in [0usize, 1, 63, 64, 65, 200] {
+            let run = |seed: u64| {
+                let mut rng = Sm(seed);
+                let mut buf = vec![0.0; len];
+                Exp1.fill(&mut rng, &mut buf);
+                buf.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
             };
             assert_eq!(run(9), run(9), "len {len}");
             if len > 0 {

@@ -2,6 +2,7 @@
 //! Re-exports the workspace crates for convenient use in examples and tests.
 pub use tsc_fleet as fleet;
 pub use tsc_netsim as netsim;
+pub use tsc_quorum as quorum;
 pub use tsc_ntp as ntp;
 pub use tsc_osc as osc;
 pub use tsc_refmon as refmon;
