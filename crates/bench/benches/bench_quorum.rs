@@ -30,16 +30,16 @@ fn fleet_cfg(entries: usize, k: usize, rounds: usize) -> QuorumFleetConfig {
 }
 
 /// Pre-generates the per-round inputs of one quorum (delivered polls
-/// only, as `Option<RawExchange>` rows) for the ingest benches.
-fn shared_rounds(k: usize, rounds: usize) -> Vec<Vec<Option<RawExchange>>> {
+/// only) as a flattened row-major batch for the ingest benches.
+fn shared_rounds(k: usize, rounds: usize) -> Vec<Option<RawExchange>> {
     let sc = MultiServerScenario::baseline(k, 7)
         .with_poll_period(64.0)
         .with_duration(64.0 * rounds as f64);
     let mut stream = sc.stream();
     let mut buf = Vec::new();
-    let mut out = Vec::with_capacity(rounds);
+    let mut out = Vec::with_capacity(rounds * k);
     while stream.next_round(&mut buf) {
-        out.push(buf.iter().map(|s| s.delivered.then_some(s.raw)).collect());
+        out.extend(buf.iter().map(|s| s.delivered.then_some(s.raw)));
     }
     out
 }
@@ -71,7 +71,8 @@ fn bench_quorum_generation(c: &mut Criterion) {
 
 fn bench_quorum_ingest(c: &mut Criterion) {
     // consumers only: K clocks + health + combination over pre-generated
-    // rounds — the quorum layer's per-exchange cost
+    // rounds, through the batched allocation-free ingest path — the
+    // quorum layer's per-exchange cost
     for k in [3usize, 5] {
         let rounds = 6000 / k;
         let input = shared_rounds(k, rounds);
@@ -79,13 +80,12 @@ fn bench_quorum_ingest(c: &mut Criterion) {
         g.sample_size(20);
         g.throughput(Throughput::Elements((rounds * k) as u64));
         g.bench_function(format!("{k}servers_{rounds}rounds"), |b| {
+            let mut out = Vec::with_capacity(rounds);
             b.iter(|| {
                 let mut q = QuorumClock::new(k, QuorumConfig::paper_defaults(64.0));
-                let mut combined = 0u64;
-                for round in &input {
-                    combined += u64::from(q.process_round(round).combined);
-                }
-                std::hint::black_box(combined)
+                out.clear();
+                q.process_batch(&input, &mut out);
+                std::hint::black_box(out.iter().filter(|o| o.combined).count())
             })
         });
         g.finish();

@@ -1,19 +1,23 @@
 //! Quick stage-level profiler for the per-packet pipeline cost.
+//!
+//! Prints full-pipeline and per-stage ns/packet rows for each polling
+//! period (default: 16 s and 64 s — the paper's setting and the fleet
+//! benches' setting; pass explicit periods as arguments to override).
+//! The `bench_ingest` criterion target measures the same stages with the
+//! harness's statistics; this binary is the one-shot stdout version.
 use std::time::Instant;
 use tsc_netsim::Scenario;
 use tscclock::{
     ClockConfig, GlobalRate, History, LocalRate, OffsetEstimator, RawExchange, TscNtpClock,
 };
 
-fn main() {
-    let cfg = ClockConfig::paper_defaults(16.0);
+fn profile(poll: f64) {
+    let cfg = ClockConfig::paper_defaults(poll);
     let exchanges: Vec<RawExchange> = Scenario::baseline(1)
-        .with_poll_period(16.0)
-        .with_duration(86_400.0)
-        .run()
-        .into_iter()
-        .filter(|e| !e.lost)
-        .map(|e| RawExchange { ta_tsc: e.ta_tsc, tb: e.tb, te: e.te, tf_tsc: e.tf_tsc })
+        .with_poll_period(poll)
+        .with_duration(poll * 30_000.0)
+        .stream()
+        .raw()
         .collect();
     let n = exchanges.len();
 
@@ -68,11 +72,22 @@ fn main() {
 
         if round == 1 {
             let per = |d: std::time::Duration| d.as_nanos() as f64 / n as f64;
-            println!("full:          {:7.0} ns/packet", per(full));
-            println!("history only:  {:7.0} ns/packet", per(hist));
-            println!("hist+offset:   {:7.0} ns/packet (offset ≈ {:.0})", per(offset), per(offset) - per(hist));
-            println!("hist+local:    {:7.0} ns/packet (local ≈ {:.0})", per(local), per(local) - per(hist));
-            println!("hist+rate:     {:7.0} ns/packet (rate ≈ {:.0})", per(rate), per(rate) - per(hist));
+            println!("poll{poll}:");
+            println!("  full:          {:7.0} ns/packet", per(full));
+            println!("  history only:  {:7.0} ns/packet", per(hist));
+            println!("  hist+offset:   {:7.0} ns/packet (offset ≈ {:.0})", per(offset), per(offset) - per(hist));
+            println!("  hist+local:    {:7.0} ns/packet (local ≈ {:.0})", per(local), per(local) - per(hist));
+            println!("  hist+rate:     {:7.0} ns/packet (rate ≈ {:.0})", per(rate), per(rate) - per(hist));
         }
+    }
+}
+
+fn main() {
+    let polls: Vec<f64> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("poll period in seconds"))
+        .collect();
+    for poll in if polls.is_empty() { vec![16.0, 64.0] } else { polls } {
+        profile(poll);
     }
 }

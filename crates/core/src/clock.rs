@@ -220,6 +220,21 @@ impl TscNtpClock {
         &self.cfg
     }
 
+    /// Current global rate estimate `p̂` (seconds per count), if
+    /// bootstrapped — the cheap accessor the quorum layer polls every
+    /// round (a full [`TscNtpClock::status`] snapshot walks the history).
+    #[inline]
+    pub fn p_hat(&self) -> Option<f64> {
+        self.rate.p_hat()
+    }
+
+    /// Overrides the offset estimator's incremental rebuild cadence.
+    /// Differential-test hook — see `OffsetEstimator::set_rebuild_cadence`.
+    #[doc(hidden)]
+    pub fn set_offset_rebuild_cadence(&mut self, every: u32) {
+        self.offset.set_rebuild_cadence(every);
+    }
+
     /// Feeds one completed exchange through the pipeline.
     ///
     /// Returns `None` for malformed packets and for the very first packet
@@ -329,15 +344,22 @@ impl TscNtpClock {
 
         // 4. Local rate (needs the re-based history — refetch only if a
         // shift actually re-based it; nothing else mutates the record).
+        // §5.2 introduces the local rate for two *optional* purposes; when
+        // the configuration disables the equation-(21) refinement, the
+        // estimator is not maintained at all — its sub-window bookkeeping
+        // would otherwise be the second-largest per-packet cost, spent on
+        // a diagnostic nobody reads (`p_local` is `None` throughout).
         let record = if events.contains(ClockEvent::UpwardShift) {
             self.history.last().expect("present")
         } else {
             record
         };
-        match self.local_rate.process(&self.history, &record, p_hat) {
-            LocalRateEvent::Updated => events.insert(ClockEvent::LocalRateUpdated),
-            LocalRateEvent::SanityDuplicated => events.insert(ClockEvent::LocalRateSanity),
-            _ => {}
+        if self.cfg.use_local_rate {
+            match self.local_rate.process(&self.history, &record, p_hat) {
+                LocalRateEvent::Updated => events.insert(ClockEvent::LocalRateUpdated),
+                LocalRateEvent::SanityDuplicated => events.insert(ClockEvent::LocalRateSanity),
+                _ => {}
+            }
         }
 
         // 5. Weighted offset.

@@ -249,9 +249,11 @@ impl History {
         // consistent with the recomputed r̂.
         let mut window_slid = false;
         if self.records.len() == self.cap {
-            for _ in 0..self.cap / 2 {
-                self.records.pop_front();
-            }
+            // Bulk expiry: one drain instead of cap/2 pop_front calls
+            // (drain drops the elements in place and fixes the ring head
+            // once — the per-record call overhead of the pop loop was the
+            // slide's dominant cost).
+            self.records.drain(..self.cap / 2);
             let front = *self.records.front().expect("half retained");
             while matches!(self.mono.front(), Some(&(i, _)) if i < front.idx) {
                 self.mono.pop_front();
@@ -266,17 +268,27 @@ impl History {
             // resolve to (every retained idx is ≥ the next era's start, so
             // resolution never reaches the dropped one), and fold
             // suffix-min entries no retained record's epoch can query.
-            while self.eras.len() >= 2 && self.eras[1].start_idx <= front.idx {
-                self.eras.remove(0);
-                self.era_base += 1;
+            // Both prunes are batched drains (the old remove(0) loops
+            // re-shifted the tail once per pruned entry).
+            let dead_eras = self.eras[1..]
+                .iter()
+                .take_while(|e| e.start_idx <= front.idx)
+                .count();
+            if dead_eras > 0 {
+                self.eras.drain(..dead_eras);
+                self.era_base += dead_eras as u32;
             }
             if front.era == self.current_era_id() {
                 // All retained records resolve into the current era with
                 // epochs ≥ the oldest record's, so earlier step entries of
                 // the suffix-min table are unreachable.
                 let cur = self.current_era_mut();
-                while cur.events.len() >= 2 && cur.events[1].0 <= front.epoch {
-                    cur.events.remove(0);
+                if !cur.events.is_empty() {
+                    let dead = cur.events[1..]
+                        .iter()
+                        .take_while(|&&(seq, _)| seq <= front.epoch)
+                        .count();
+                    cur.events.drain(..dead);
                 }
             }
             window_slid = true;

@@ -42,13 +42,18 @@
 //!   §6.1 point-error re-evaluation is resolved lazily through an
 //!   era/baseline table instead of sweeping the stored records — see the
 //!   [`history`] module docs for the design;
-//! * the §5.3 offset estimator keeps a rolling structure-of-arrays mirror
-//!   of its τ′ window (add-on-push, rebuilt on the rare re-basing events)
-//!   and evaluates weights, sums and the quality gate in one fused,
-//!   SIMD-accelerated pass ([`fastmath`]) — the window is a fixed packet
-//!   count (τ′/poll), so the pass is O(1) in the history size;
-//! * the §5.2 local-rate sub-windows are read directly out of the history
-//!   ring, and per-packet events are reported as a copyable
+//! * the §5.3 offset estimator is **fully incremental**: its weights are
+//!   exponentials of the excess total error over the window's best
+//!   packet, which factor into per-packet constants, so the weighted
+//!   sums are rolling accumulators (one absorb + one expire + a
+//!   monotonic min-deque per packet — a single exponential, ~50 ns,
+//!   instead of an O(τ′/poll) window pass), exactness bounded by a
+//!   periodic rebuild — see the [`offset`] module docs for the math and
+//!   the drift-rebuild contract;
+//! * the §5.2 local-rate sub-windows ride rolling argmin deques plus key
+//!   sums (when the estimator is enabled at all — a disabled local rate
+//!   costs nothing), the sub-window verdict is memoized on the selected
+//!   pair, and per-packet events are reported as a copyable
 //!   [`clock::EventSet`] bitflag word rather than a heap-allocated list.
 //!
 //! At **coarse polling** (≥ several minutes per exchange) every nominal
@@ -70,10 +75,11 @@
 //!   resolved straight off the history tail into stack buffers instead of
 //!   maintaining the rolling caches/deques.
 //!
-//! Together these make a simulated month at 1024 s polling ≈2.4× faster
-//! than the PR-1 pipeline. [`TscNtpClock::process_batch`] is the batched
-//! ingest form (one output buffer reused across a shard) used by the
-//! `tsc-fleet` replay engine; it is bit-identical to calling
+//! Together these put end-to-end ingest at ≈100 ns/packet at 16 s polling
+//! on a 2.1 GHz core (≈3.5× over the fused-SIMD window-pass pipeline it
+//! replaces; committed rows in `BENCH_ingest.json`). [`TscNtpClock::process_batch`] is the batched ingest form
+//! (one output buffer reused across a shard) used by the `tsc-fleet`
+//! replay engine; it is bit-identical to calling
 //! [`TscNtpClock::process`] in a loop.
 //!
 //! Memory is O(window). The pre-optimization pipeline is preserved under

@@ -59,6 +59,20 @@ pub struct LocalRate {
     /// (rare), and otherwise maintained with O(1) amortized push/evict.
     far_q: std::collections::VecDeque<(u64, f64)>,
     near_q: std::collections::VecDeque<(u64, f64)>,
+    /// Rolling sums of the sub-window keys (counts domain), maintained
+    /// next to the argmin deques with the same one-in/one-out updates and
+    /// rebuilt with them — the O(1) source of the mean-excess congestion
+    /// telemetry ([`LocalRate::near_mean_excess`] /
+    /// [`LocalRate::far_mean_excess`]).
+    far_sum: f64,
+    near_sum: f64,
+    /// Power-of-two ring mirrors of the sub-window keys (indexed by global
+    /// idx): expiring a record reads its admission-time key straight off
+    /// the ring instead of re-fetching and re-resolving it from the
+    /// history (keys are gen-stable, so ring and re-resolution agree
+    /// bit-for-bit between rebuilds).
+    far_keys: Vec<f64>,
+    near_keys: Vec<f64>,
     /// Exclusive end (global idx) of the far sub-window at the last call.
     far_hi: u64,
     /// `k.idx` of the last maintained call (consecutiveness check).
@@ -67,6 +81,16 @@ pub struct LocalRate {
     keys_gen: u64,
     /// Whether the deques currently mirror the sub-windows.
     synced: bool,
+    /// Inputs of the last [`LocalRate::judge`]: `(far idx, near idx,
+    /// rebase generation)`. The verdict is a pure function of these (the
+    /// pair rate is `p̂`-independent; the quality bound's `p̂` scaling
+    /// cancels), so when the stamp matches, the stored outcome is
+    /// replayed instead of re-deriving the pair estimate — the common
+    /// case at fine polling, where the selected pair survives many
+    /// packets.
+    judge_stamp: (u64, u64, u64),
+    /// The memoized outcome: the event and the `p̂l` it left in place.
+    judge_memo: Option<(LocalRateEvent, Option<f64>)>,
 }
 
 impl LocalRate {
@@ -81,10 +105,12 @@ impl LocalRate {
     ) -> Self {
         assert!(w_split >= 3, "W must be at least 3");
         let n_bar = n_bar.max(w_split);
+        let near_n = (n_bar / w_split).max(1);
+        let far_n = (2 * n_bar / w_split).max(1);
         Self {
             n_bar,
-            near_n: (n_bar / w_split).max(1),
-            far_n: (2 * n_bar / w_split).max(1),
+            near_n,
+            far_n,
             span: n_bar + n_bar / w_split,
             gamma_star,
             rate_sanity,
@@ -94,16 +120,38 @@ impl LocalRate {
             updated_at_tfc: f64::NAN,
             far_q: std::collections::VecDeque::new(),
             near_q: std::collections::VecDeque::new(),
+            far_sum: 0.0,
+            near_sum: 0.0,
+            far_keys: vec![0.0; far_n.next_power_of_two()],
+            near_keys: vec![0.0; near_n.next_power_of_two()],
             far_hi: 0,
             last_k_idx: 0,
             keys_gen: 0,
             synced: false,
+            judge_stamp: (u64::MAX, u64::MAX, u64::MAX),
+            judge_memo: None,
         }
     }
 
     /// Current quasi-local period estimate, if any.
     pub fn p_local(&self) -> Option<f64> {
         self.p_l
+    }
+
+    /// Mean excess RTT of the *near* sub-window in seconds — congestion
+    /// telemetry, O(1) off the rolling key sum. `None` while the rolling
+    /// state is not mirroring the sub-windows (inactive, coarse-poll
+    /// direct path, or just rebuilt away). Diagnostic-grade: the rolling
+    /// sum carries float drift until the next re-basing rebuild.
+    pub fn near_mean_excess(&self, p_ref: f64) -> Option<f64> {
+        self.synced
+            .then(|| self.near_sum / self.near_n as f64 * p_ref)
+    }
+
+    /// Mean excess RTT of the *far* sub-window in seconds (see
+    /// [`LocalRate::near_mean_excess`]).
+    pub fn far_mean_excess(&self, p_ref: f64) -> Option<f64> {
+        self.synced.then(|| self.far_sum / self.far_n as f64 * p_ref)
     }
 
     /// Residual rate error `γ̂l = p̂l/p̄ − 1` relative to the global estimate,
@@ -180,24 +228,47 @@ impl LocalRate {
             && self.last_k_idx.wrapping_add(1) == k_idx
             && far_hi.wrapping_sub(self.far_hi) <= 1
         {
-            // Incremental step: at most one element enters each window.
+            // Incremental step: at most one element enters (and one
+            // leaves) each window. The rolling key sums move in lockstep
+            // with the deques.
             if far_hi > self.far_hi {
                 let r = history.get_raw(far_hi - 1).expect("retained");
                 let key = r.rtt_c - view.resolve(r);
                 Self::push_candidate(&mut self.far_q, far_hi - 1, key);
+                // Read the expiring key out of the ring *before* storing
+                // the entrant: when the sub-window size is an exact power
+                // of two the two indices alias the same slot.
+                let mask = self.far_keys.len() - 1;
+                self.far_sum -= self.far_keys[(far_lo - 1) as usize & mask];
+                self.far_keys[(far_hi - 1) as usize & mask] = key;
+                self.far_sum += key;
             }
             let key = k.rtt_c - view.resolve(k);
             Self::push_candidate(&mut self.near_q, k_idx, key);
+            let mask = self.near_keys.len() - 1;
+            self.near_sum -= self.near_keys[(near_lo - 1) as usize & mask];
+            self.near_keys[k_idx as usize & mask] = key;
+            self.near_sum += key;
         } else {
-            // Rebuild both deques from scratch.
+            // Rebuild the deques (and the rolling sums) from scratch.
             self.far_q.clear();
             self.near_q.clear();
+            self.far_sum = 0.0;
+            self.near_sum = 0.0;
             let start = len - w;
+            let far_mask = self.far_keys.len() - 1;
             for r in history.range_raw(start, start + far_n) {
-                Self::push_candidate(&mut self.far_q, r.idx, r.rtt_c - view.resolve(r));
+                let key = r.rtt_c - view.resolve(r);
+                Self::push_candidate(&mut self.far_q, r.idx, key);
+                self.far_keys[r.idx as usize & far_mask] = key;
+                self.far_sum += key;
             }
+            let near_mask = self.near_keys.len() - 1;
             for r in history.range_raw(len - near_n, len) {
-                Self::push_candidate(&mut self.near_q, r.idx, r.rtt_c - view.resolve(r));
+                let key = r.rtt_c - view.resolve(r);
+                Self::push_candidate(&mut self.near_q, r.idx, key);
+                self.near_keys[r.idx as usize & near_mask] = key;
+                self.near_sum += key;
             }
             self.keys_gen = gen;
             self.synced = true;
@@ -212,7 +283,31 @@ impl LocalRate {
         self.last_k_idx = k_idx;
         let &(far_idx, far_key) = self.far_q.front().expect("non-empty far window");
         let &(near_idx, near_key) = self.near_q.front().expect("non-empty near window");
-        self.judge(history, k, p_ref, far_idx, far_key, near_idx, near_key)
+        // Memoized verdict: the judgement is a pure function of the pair
+        // identity and the re-basing generation (the pair rate never sees
+        // p̂; the quality bound's p̂ scaling cancels), so an unchanged
+        // stamp replays the stored outcome instead of re-deriving the
+        // pair estimate.
+        let stamp = (far_idx, near_idx, gen);
+        if stamp == self.judge_stamp {
+            if let Some((ev, pl)) = self.judge_memo {
+                return match ev {
+                    LocalRateEvent::Updated => {
+                        self.p_l = pl;
+                        self.updated_at_tfc = k.tf_c;
+                        ev
+                    }
+                    LocalRateEvent::QualityDuplicated | LocalRateEvent::SanityDuplicated => {
+                        self.duplicate(k, ev)
+                    }
+                    LocalRateEvent::Inactive => ev,
+                };
+            }
+        }
+        let ev = self.judge(history, k, p_ref, far_idx, far_key, near_idx, near_key);
+        self.judge_stamp = stamp;
+        self.judge_memo = Some((ev, self.p_l));
+        ev
     }
 
     /// The §5.2 acceptance chain on the selected sub-window minima: pair
@@ -417,6 +512,56 @@ mod tests {
             ((p_after - p_before) / p_before).abs() <= 3e-7 * 20.0,
             "local rate moved too far under server fault"
         );
+    }
+
+    #[test]
+    fn rolling_mean_excess_matches_brute_force_windows() {
+        // The near/far mean-excess telemetry must track a from-scratch
+        // recomputation of the sub-window means — including at sub-window
+        // sizes that are exact powers of two, where the key rings' write
+        // and expiry slots alias (regression: the entrant used to
+        // overwrite the expiring key before it was read, freezing the
+        // sums at their rebuild-time values).
+        for w_split in [4usize, 30] {
+            // n_bar=8, W=4 → near 2, far 4 (both powers of two);
+            // n_bar=100, W=30 → near 3, far 6
+            let n_bar = if w_split == 4 { 8 } else { 100 };
+            let mut h = History::new(100_000);
+            let mut lr = LocalRate::new(n_bar, w_split, 0.05e-6, 3e-7, 8, 2500.0);
+            let (near_n, far_n) = (lr.near_n, lr.far_n);
+            let span = lr.span;
+            for k in 0..400u64 {
+                // varied queueing so the window means genuinely move
+                let q = ((k * 37) % 11) as f64 * 60e-6;
+                h.push(ex_drift(k as f64 * 16.0, 0.0, q), 0.0);
+                let r = h.last().unwrap();
+                lr.process(&h, &r, P0);
+                let (Some(near), Some(far)) =
+                    (lr.near_mean_excess(P0), lr.far_mean_excess(P0))
+                else {
+                    continue;
+                };
+                let len = h.len();
+                let w = len.min(span);
+                let mean = |lo: usize, n: usize| -> f64 {
+                    h.range_raw(lo, lo + n)
+                        .map(|rec| (rec.rtt_c - h.resolve_rbase(rec)) * P0)
+                        .sum::<f64>()
+                        / n as f64
+                };
+                let want_far = mean(len - w, far_n);
+                let want_near = mean(len - near_n, near_n);
+                let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * b.abs() + 1e-12;
+                assert!(
+                    close(near, want_near),
+                    "W={w_split} k={k}: near {near:e} vs {want_near:e}"
+                );
+                assert!(
+                    close(far, want_far),
+                    "W={w_split} k={k}: far {far:e} vs {want_far:e}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,28 +1,117 @@
-//! Offset synchronization `θ̂(t)` (§5.3).
+//! Offset synchronization `θ̂(t)` (§5.3) — factored-weight incremental
+//! estimator.
 //!
 //! The four-stage per-packet scheme:
 //!
 //! 1. **total error** `Eᵀᵢ = Eᵢ + ε·(Cd(t) − Cd(Tf,i))` — the point error
 //!    inflated by packet age at the residual-rate allowance ε = 0.02 PPM;
-//! 2. **weights** `wᵢ = exp(−(Eᵀᵢ/E)²)` over the packets inside the SKM
-//!    window `τ′`, penalising "poor total quality very heavily";
+//! 2. **weights** over the packets inside the SKM window `τ′`, penalising
+//!    poor total quality very heavily (see *Weight shape* below);
 //! 3. **weighted sum** (equation (20)), optionally with the local-rate
 //!    linear prediction (equation (21)); when every packet in the window is
-//!    poor (`min Eᵀ > E** = 6E`, "about 3 'standard deviations'"), fall back
-//!    to carrying the last estimate forward (equations (22)/(23));
+//!    poor (`min Eᵀ > E** = 6E`), fall back to carrying the last estimate
+//!    forward (equations (22)/(23));
 //! 4. **sanity check**: successive estimates may not differ by more than
-//!    `Es = 1 ms` — "orders of magnitude beyond the expected offset
-//!    increment between neighboring packets"; violations duplicate the most
-//!    recent trusted value. The check is deliberately crude and *loose*:
-//!    tightening it would "replace the main filtering algorithm with a crude
-//!    alternative dangerously subject to 'lock-out'".
+//!    `Es = 1 ms`; violations duplicate the most recent trusted value.
+//!
+//! # Weight shape and the factorization that makes ingest O(1)
+//!
+//! The paper's weights `exp(−(Eᵀᵢ/E)²)` must be re-evaluated for the whole
+//! window on every packet: `Eᵀᵢ(t)` depends on the packet's age *at
+//! evaluation time*, and the square couples that common drift to each
+//! packet individually — the pass is irreducibly O(τ′/poll) per packet
+//! (~200 ns at 16 s polling even fully SIMD-fused).
+//!
+//! This implementation instead weights the **excess total error over the
+//! window's best packet** with an exponential profile:
+//!
+//! ```text
+//!   wᵢ(t) = exp(−(Eᵀᵢ(t) − minⱼ Eᵀⱼ(t)) / λ),      λ = E/2
+//! ```
+//!
+//! Writing everything in counter units, `Eᵀᵢ(t) = p·(κᵢ + ε·Tf(t))` with
+//! `κᵢ = (rᵢ − r̂base) − ε·Tfᵢ` a **per-packet constant**: the common age
+//! drift `ε·Tf(t)` cancels in the min-subtraction, so `wᵢ` does not depend
+//! on evaluation time at all, and the weighted sums factor into rolling
+//! per-packet accumulators:
+//!
+//! * `Σ wᵢ`, `Σ wᵢ·θᵢ⁰`, `Σ wᵢ·hmᵢ`, `Σ wᵢ·Tfᵢ`, `Σ wᵢ·peᵢ` are
+//!   maintained **incrementally** — one absorb and at most one expire per
+//!   packet — relative to an anchor `A` (weights are stored as
+//!   `uᵢ = exp(−(κᵢ − A)/λc)`; the common factor `exp((κmin − A)/λc)`
+//!   cancels in every ratio the update needs);
+//! * the window minimum `κmin` (the quality gate and the weight
+//!   normalizer) comes from a monotonic min-deque — O(1) amortized;
+//! * live-clock evaluation (current `p̂`, `C̄`, `γ̂l`) is recovered exactly
+//!   by linear correction around rebuild-time references
+//!   (`θᵢ(p̂,C̄) = θᵢ⁰ + hmᵢ·(p̂−p̂₀) + (C̄−C̄₀)`).
+//!
+//! Filtering behaviour matches the Gaussian near the knee (both give
+//! `e⁻⁴` at 2E of excess); far congestion tails keep weights below
+//! `e⁻³⁰`. The fallback gate (`min Eᵀ > E**`), the sanity check and the
+//! gap-blend logic are unchanged.
+//!
+//! # Drift-rebuild contract
+//!
+//! Incremental float sums drift (each expire subtracts what an absorb
+//! added, to within rounding). Exactness is bounded by **rebuilding** the
+//! sums from the history — an O(τ′/poll) refill, amortized away by rarity
+//! — whenever any of these fire:
+//!
+//! * a re-basing event (`History::rebase_gen` moved): every κ changes;
+//! * a non-consecutive packet, a window-geometry change, or the top-level
+//!   window sliding into the τ′ window;
+//! * the **cadence**: every `REBUILD_EVERY` (1024) absorbs unconditionally,
+//!   bounding accumulated rounding to ≲1e-13 relative;
+//! * the **range guard**: a new κ more than 600 weight-e-folds *below* the
+//!   anchor (weights would overflow — re-anchor); large positive excesses
+//!   just underflow harmlessly;
+//! * the **domination guard**: an expiring packet carrying ≳99.9% of the
+//!   window's weight (the subtraction would leave the survivors with
+//!   absorbed-into-its-ulp garbage);
+//! * the **rate guard**: `p̂` drifting more than 1e-6 relative from the
+//!   rebuild reference `p̂₀` (keeps the linear correction term small).
+//!
+//! The weight *scale* `λc = λ/ρ` (counter units) freezes `ρ = p̂` once, at
+//! the first post-warm-up evaluation: `p̂` thereafter moves by ≤ ~1e-7
+//! relative (0.1 PPM hardware bound), perturbing weight exponents
+//! invisibly, and a frozen scale is what lets the weights be per-packet
+//! constants. During warm-up (bounded, small windows) and for τ′ windows
+//! of ≤ [`SMALL_WINDOW`] packets (coarse polling) the estimator runs a
+//! direct full pass instead. The `reference` pipeline implements the
+//! same estimator as O(window) full passes; the differential suites
+//! (`tests/proptest_invariants.rs`, `crates/core/tests/
+//! incremental_offset.rs` — the latter forcing rebuild cadences down to
+//! every packet) pin θ̂ parity to 1e-12 relative + 50 ps.
 
 use crate::config::ClockConfig;
+use crate::fastmath::exp_clamped;
 use crate::history::{History, PacketRecord};
+use std::collections::VecDeque;
 
-/// Window sizes up to this bypass the rolling ring cache and resolve the
-/// τ′ window directly into stack buffers (the coarse-polling fast path).
+/// Window sizes up to this bypass the incremental machinery and resolve
+/// the τ′ window directly with a full pass (the coarse-polling fast path:
+/// a handful of exponentials beats maintaining the rolling state).
 const SMALL_WINDOW: usize = 4;
+
+/// Unconditional rebuild cadence (absorbs between full refills).
+const REBUILD_EVERY: u32 = 1024;
+
+/// λ = `quality_scale` × this fraction (see the module docs).
+pub const WEIGHT_LAMBDA_FRAC: f64 = 0.5;
+
+/// Re-anchor when a new κ sits this many weight-e-folds below the anchor.
+/// The bound keeps every anchored weight below `e⁴⁰⁰ ≈ 5e173`, so no sum
+/// or product (weights × midpoint deviations ≤ ~1e12) can approach the
+/// f64 overflow threshold before the rebuild re-anchors.
+const EXP_ARG_GUARD: f64 = 400.0;
+
+/// Rebuild when `p̂` drifts this far (relative) from the rebuild reference.
+const P_DRIFT_GUARD: f64 = 1e-6;
+
+/// Rebuild when an expiring packet carried more than
+/// `1 − 1/DOMINATION_GUARD` of the window's weight.
+const DOMINATION_GUARD: f64 = 1024.0;
 
 /// Events from an offset update.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +128,309 @@ pub enum OffsetEvent {
     SanityDuplicated,
     /// First estimate initialised.
     Initialised,
+}
+
+/// The four window statistics every update needs: total weight, weighted
+/// θ sum, weighted total-error sum, and the window quality gate. For the
+/// incremental path the first three are *anchored* (common positive
+/// factor vs the plain full pass) — every consumer is a ratio or the
+/// exactly-computed `min_et`, so the factor never materializes.
+struct WindowSums {
+    sum_w: f64,
+    sum_wth: f64,
+    sum_wet: f64,
+    min_et: f64,
+}
+
+/// One τ′-window ring slot: the per-record values the rolling sums need —
+/// the admission-resolved point error `pe` (counts), `Tf`, the midpoints,
+/// and the anchored weight `u`. One struct per slot (instead of five
+/// parallel arrays) keeps expiry+absorb to one bounds check and one cache
+/// line each.
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    pe_c: f64,
+    tf_c: f64,
+    hm_c: f64,
+    sm: f64,
+    u: f64,
+}
+
+/// The rolling factored-weight window state (see the module docs).
+///
+/// A ring of [`Slot`]s mirrors the τ′ window, so expiry needs no history
+/// access and no second exponential: the products subtracted are
+/// recomputed from the slot bit-for-bit as they were added.
+#[derive(Debug, Clone, Default)]
+struct FactoredWindow {
+    /// Ring capacity (power of two ≥ the window size), 0 = unallocated.
+    cap: usize,
+    ring: Vec<Slot>,
+    /// Linearization references, refreshed at every rebuild.
+    p0: f64,
+    cbar0: f64,
+    tf_ref: f64,
+    hm_ref: f64,
+    /// Weight anchor `A` (the window's κ minimum at rebuild time).
+    anchor: f64,
+    /// The weight scale the stored `u` values were computed with; a scale
+    /// change (the warm-up→steady boundary) forces a rebuild.
+    inv_lc0: f64,
+    /// Rolling sums: `Σu`, `Σu·θ⁰`, `Σu·(hm−hm_ref)`, `Σu·(tf−tf_ref)`,
+    /// `Σu·pe`.
+    s_w: f64,
+    s_wth0: f64,
+    s_whm: f64,
+    s_wtf: f64,
+    s_wpe: f64,
+    /// Monotonic min-deque over `(idx, κ)`: front = window minimum
+    /// (earliest on ties).
+    min_q: VecDeque<(u64, f64)>,
+    /// Global index of the newest absorbed record.
+    last_idx: u64,
+    /// Records currently in the window.
+    len: usize,
+    /// `History::rebase_gen` the κ values were resolved under.
+    gen: u64,
+    /// Absorbs remaining until the unconditional rebuild.
+    until_rebuild: u32,
+    /// Whether the sums currently mirror the window.
+    valid: bool,
+}
+
+impl FactoredWindow {
+    /// κ of a stored slot (pure function of the slot and ε).
+    #[inline]
+    fn kappa_of(pe_c: f64, tf_c: f64, eps: f64) -> f64 {
+        pe_c - eps * tf_c
+    }
+
+    /// Tries the O(1) incremental step for packet `k`; `false` means the
+    /// caller must rebuild.
+    fn advance(
+        &mut self,
+        history: &History,
+        k: &PacketRecord,
+        window_n: usize,
+        eps: f64,
+        inv_lambda_c: f64,
+        p_hat: f64,
+    ) -> bool {
+        if !self.valid
+            || self.gen != history.rebase_gen()
+            || k.idx != self.last_idx.wrapping_add(1)
+            || self.until_rebuild == 0
+            || inv_lambda_c != self.inv_lc0
+            || (p_hat - self.p0).abs() > P_DRIFT_GUARD * self.p0
+        {
+            return false;
+        }
+        // Target occupancy after absorbing k: the full pass covers the
+        // newest min(window_n, history.len()) records (`history` already
+        // holds k).
+        let target = window_n.min(history.len());
+        if self.len + 1 > target + 1 {
+            // A top-window slide cut into the τ′ window: more than one
+            // record must leave. Rare; rebuild.
+            return false;
+        }
+        let kap_new = Self::kappa_of(k.rtt_c - k.rbase_c, k.tf_c, eps);
+        let x = (kap_new - self.anchor) * inv_lambda_c;
+        if x < -EXP_ARG_GUARD {
+            // Weight would blow past the anchor's range: re-anchor.
+            return false;
+        }
+        if self.len + 1 > target {
+            // Expire the oldest record from the sums and the deque.
+            let old_idx = self.last_idx.wrapping_sub(self.len as u64 - 1);
+            let s = self.ring[(old_idx as usize) & (self.cap - 1)];
+            let th0 = s.hm_c * self.p0 + self.cbar0 - s.sm;
+            self.s_w -= s.u;
+            self.s_wth0 -= s.u * th0;
+            self.s_whm -= s.u * (s.hm_c - self.hm_ref);
+            self.s_wtf -= s.u * (s.tf_c - self.tf_ref);
+            self.s_wpe -= s.u * s.pe_c;
+            while matches!(self.min_q.front(), Some(&(i, _)) if i <= old_idx) {
+                self.min_q.pop_front();
+            }
+            self.len -= 1;
+            if self.s_w.is_nan() || self.s_w <= 0.0 || s.u > self.s_w * DOMINATION_GUARD {
+                // The expired packet dominated the window weight: the
+                // remaining sums are its subtraction residue. Rebuild.
+                return false;
+            }
+        }
+        let u = exp_clamped(-x);
+        let pe_c = k.rtt_c - k.rbase_c;
+        self.ring[(k.idx as usize) & (self.cap - 1)] = Slot {
+            pe_c,
+            tf_c: k.tf_c,
+            hm_c: k.hm_c,
+            sm: k.sm,
+            u,
+        };
+        let th0 = k.hm_c * self.p0 + self.cbar0 - k.sm;
+        self.s_w += u;
+        self.s_wth0 += u * th0;
+        self.s_whm += u * (k.hm_c - self.hm_ref);
+        self.s_wtf += u * (k.tf_c - self.tf_ref);
+        self.s_wpe += u * pe_c;
+        while matches!(self.min_q.back(), Some(&(_, bk)) if bk > kap_new) {
+            self.min_q.pop_back();
+        }
+        self.min_q.push_back((k.idx, kap_new));
+        self.last_idx = k.idx;
+        self.len += 1;
+        self.until_rebuild -= 1;
+        true
+    }
+
+    /// Full refill from the history tail: fresh anchor and linearization
+    /// references, exact sums, rebuilt deque. O(window), amortized away by
+    /// the rarity of its triggers (see the module docs). `kappa_buf` is
+    /// caller-provided scratch carrying the resolved point errors from
+    /// the anchor pass into the fill pass (one baseline resolution per
+    /// record, not two).
+    #[allow(clippy::too_many_arguments)]
+    fn rebuild(
+        &mut self,
+        history: &History,
+        k: &PacketRecord,
+        window_n: usize,
+        eps: f64,
+        inv_lambda_c: f64,
+        p_hat: f64,
+        c_bar: f64,
+        cadence: u32,
+        kappa_buf: &mut Vec<f64>,
+    ) {
+        if self.cap < window_n.next_power_of_two() {
+            self.cap = window_n.next_power_of_two().max(8);
+            self.ring = vec![Slot::default(); self.cap];
+        }
+        self.p0 = p_hat;
+        self.cbar0 = c_bar;
+        self.tf_ref = k.tf_c;
+        self.hm_ref = k.hm_c;
+        // Anchor at the window's κ minimum: every weight starts ≤ 1 (the
+        // full-pass normalization), leaving the whole guarded range as
+        // headroom for future better-than-anchor packets. Anchoring at the
+        // newest κ instead would overflow the sums the moment the newest
+        // packet is heavily congested (κ far above the rest).
+        let view = history.baseline_view();
+        kappa_buf.clear();
+        let mut anchor = f64::INFINITY;
+        for r in history.tail_raw(window_n) {
+            let pe = r.rtt_c - view.resolve(r);
+            anchor = anchor.min(Self::kappa_of(pe, r.tf_c, eps));
+            kappa_buf.push(pe);
+        }
+        self.anchor = anchor;
+        self.inv_lc0 = inv_lambda_c;
+        self.s_w = 0.0;
+        self.s_wth0 = 0.0;
+        self.s_whm = 0.0;
+        self.s_wtf = 0.0;
+        self.s_wpe = 0.0;
+        self.min_q.clear();
+        let mut count = 0usize;
+        for (r, &pe) in history.tail_raw(window_n).zip(kappa_buf.iter()) {
+            // κ recomputed from the buffered pe — deterministic, so it is
+            // bit-identical to the anchor pass's value.
+            let kap = Self::kappa_of(pe, r.tf_c, eps);
+            let u = exp_clamped(-((kap - self.anchor) * inv_lambda_c));
+            self.ring[(r.idx as usize) & (self.cap - 1)] = Slot {
+                pe_c: pe,
+                tf_c: r.tf_c,
+                hm_c: r.hm_c,
+                sm: r.sm,
+                u,
+            };
+            let th0 = r.hm_c * self.p0 + self.cbar0 - r.sm;
+            self.s_w += u;
+            self.s_wth0 += u * th0;
+            self.s_whm += u * (r.hm_c - self.hm_ref);
+            self.s_wtf += u * (r.tf_c - self.tf_ref);
+            self.s_wpe += u * pe;
+            while matches!(self.min_q.back(), Some(&(_, bk)) if bk > kap) {
+                self.min_q.pop_back();
+            }
+            self.min_q.push_back((r.idx, kap));
+            count += 1;
+        }
+        self.last_idx = k.idx;
+        self.len = count;
+        self.gen = history.rebase_gen();
+        // `cadence − 1` further absorbs before the next unconditional
+        // rebuild: a cadence of 1 genuinely rebuilds on *every* packet
+        // (the differential tests rely on that meaning).
+        self.until_rebuild = cadence.saturating_sub(1);
+        self.valid = true;
+    }
+
+    /// Live evaluation against the current clock `(p̂, C̄)` and local-rate
+    /// residual `g` — O(1): linear corrections around the rebuild
+    /// references (see the module docs for the algebra).
+    fn eval(&self, k: &PacketRecord, p_hat: f64, c_bar: f64, g: f64, eps: f64) -> WindowSums {
+        let &(_, kappa_min) = self.min_q.front().expect("non-empty window");
+        let min_et = (kappa_min + eps * k.tf_c) * p_hat;
+        // Σu·(Tf(t) − Tfᵢ), via the centered tf sum.
+        let age_sum = (k.tf_c - self.tf_ref) * self.s_w - self.s_wtf;
+        let sum_wth = self.s_wth0
+            + (p_hat - self.p0) * (self.s_whm + self.hm_ref * self.s_w)
+            + (c_bar - self.cbar0) * self.s_w
+            - g * p_hat * age_sum;
+        let sum_wet = p_hat * (self.s_wpe + eps * age_sum);
+        WindowSums {
+            sum_w: self.s_w,
+            sum_wth,
+            sum_wet,
+            min_et,
+        }
+    }
+}
+
+/// The O(window) full pass — the plain transcription of the estimator
+/// definition, used for [`SMALL_WINDOW`] τ′ windows (coarse polling) and
+/// mirrored, structurally, by the `reference` pipeline. Two loops: κ and
+/// its minimum, then weights and sums.
+#[allow(clippy::too_many_arguments)]
+fn full_pass(
+    history: &History,
+    k: &PacketRecord,
+    window_n: usize,
+    p_hat: f64,
+    c_bar: f64,
+    g: f64,
+    eps: f64,
+    inv_lambda_c: f64,
+    kappa_buf: &mut Vec<f64>,
+) -> WindowSums {
+    let view = history.baseline_view();
+    kappa_buf.clear();
+    let mut kappa_min = f64::INFINITY;
+    for r in history.tail_raw(window_n) {
+        let kap = (r.rtt_c - view.resolve(r)) - eps * r.tf_c;
+        kappa_min = kappa_min.min(kap);
+        kappa_buf.push(kap);
+    }
+    let min_et = (kappa_min + eps * k.tf_c) * p_hat;
+    let (mut sum_w, mut sum_wth, mut sum_wet) = (0.0f64, 0.0f64, 0.0f64);
+    for (r, &kap) in history.tail_raw(window_n).zip(kappa_buf.iter()) {
+        let w = exp_clamped(-((kap - kappa_min) * inv_lambda_c));
+        let et = (kap + eps * k.tf_c) * p_hat;
+        let age = (k.tf_c - r.tf_c) * p_hat;
+        let th = (r.hm_c * p_hat + c_bar - r.sm) - g * age;
+        sum_w += w;
+        sum_wth += w * th;
+        sum_wet += w * et;
+    }
+    WindowSums {
+        sum_w,
+        sum_wth,
+        sum_wet,
+        min_et,
+    }
 }
 
 /// The offset estimator.
@@ -60,94 +452,18 @@ pub struct OffsetEstimator {
     cached_window_n: usize,
     /// The sanity-run patience bound for `cached_cfg`.
     cached_max_run: u32,
-    /// Rolling structure-of-arrays cache of the τ′ window (see
-    /// [`WindowCache`]): per-record invariants laid out densely so the
-    /// weight kernel streams contiguous arrays instead of striding the
-    /// record deque.
-    cache: WindowCache,
-}
-
-/// Rolling SoA mirror of the offset window: one slot per record (ring
-/// indexed by global packet index), holding exactly the per-record values
-/// the weight kernel reads. Maintained add-on-push — one O(1) append per
-/// packet — and rebuilt from the history (O(τ′), amortized away by rarity)
-/// whenever the baselines it folded in are invalidated by a re-basing
-/// event (new RTT minimum or upward shift), detected via
-/// `History::rebase_gen`.
-#[derive(Debug, Clone, Default)]
-struct WindowCache {
-    /// Ring capacity (power of two ≥ the window size), 0 = unallocated.
-    cap: usize,
-    /// `rtt_c − effective baseline` in counts (the point error before the
-    /// p̂ scaling), with all re-basing folded in.
-    pe_c: Vec<f64>,
-    tf_c: Vec<f64>,
-    hm_c: Vec<f64>,
-    sm: Vec<f64>,
-    /// Global index of the newest cached record (`u64::MAX` = empty).
-    last_idx: u64,
-    /// Number of consecutive valid records ending at `last_idx`.
-    len: usize,
-    /// `History::rebase_gen` at fill time.
-    gen: u64,
-}
-
-impl WindowCache {
-    fn slot(&self, idx: u64) -> usize {
-        (idx as usize) & (self.cap - 1)
-    }
-
-    /// Ensures the cache holds the `n` records ending at `k` (the packet
-    /// just admitted), appending or rebuilding as needed.
-    fn sync(&mut self, history: &History, k: &PacketRecord, window_n: usize) {
-        if self.cap < window_n.next_power_of_two() {
-            self.cap = window_n.next_power_of_two().max(8);
-            self.pe_c = vec![0.0; self.cap];
-            self.tf_c = vec![0.0; self.cap];
-            self.hm_c = vec![0.0; self.cap];
-            self.sm = vec![0.0; self.cap];
-            self.last_idx = u64::MAX;
-            self.len = 0;
-        }
-        let gen = history.rebase_gen();
-        if gen == self.gen && self.len > 0 && k.idx == self.last_idx.wrapping_add(1) {
-            // Fast path: exactly the one new record to fold in. Its stored
-            // baseline is current by construction (just pushed).
-            let s = self.slot(k.idx);
-            self.pe_c[s] = k.rtt_c - k.rbase_c;
-            self.tf_c[s] = k.tf_c;
-            self.hm_c[s] = k.hm_c;
-            self.sm[s] = k.sm;
-            self.last_idx = k.idx;
-            self.len = (self.len + 1).min(self.cap);
-        } else {
-            // Rebuild: resolve every window record's baseline afresh.
-            let view = history.baseline_view();
-            let mut count = 0usize;
-            for r in history.tail_raw(window_n) {
-                let s = self.slot(r.idx);
-                self.pe_c[s] = r.rtt_c - view.resolve(r);
-                self.tf_c[s] = r.tf_c;
-                self.hm_c[s] = r.hm_c;
-                self.sm[s] = r.sm;
-                count += 1;
-            }
-            self.last_idx = k.idx;
-            self.len = count;
-            self.gen = gen;
-        }
-    }
-
-    /// The two contiguous slot ranges covering the last `n` records,
-    /// oldest first.
-    fn ranges(&self, n: usize) -> (std::ops::Range<usize>, std::ops::Range<usize>) {
-        let lo = self.slot(self.last_idx.wrapping_sub(n as u64 - 1));
-        if lo + n <= self.cap {
-            (lo..lo + n, 0..0)
-        } else {
-            (lo..self.cap, 0..n - (self.cap - lo))
-        }
-    }
+    /// The frozen weight rate ρ (NaN until the first evaluation) and the
+    /// derived counter-domain weight scales 1/λc = ρ/λ for the warm-up
+    /// (3E) and steady (E) quality scales.
+    rho: f64,
+    inv_lc_warm: f64,
+    inv_lc_steady: f64,
+    /// Rebuild cadence (REBUILD_EVERY; overridable for differential tests).
+    rebuild_every: u32,
+    /// The rolling factored-weight window.
+    win: FactoredWindow,
+    /// Reused κ scratch for the full-pass paths.
+    kappa_buf: Vec<f64>,
 }
 
 impl Default for OffsetEstimator {
@@ -167,8 +483,23 @@ impl OffsetEstimator {
             cached_cfg: (f64::NAN, f64::NAN),
             cached_window_n: 0,
             cached_max_run: 0,
-            cache: WindowCache::default(),
+            rho: f64::NAN,
+            inv_lc_warm: f64::NAN,
+            inv_lc_steady: f64::NAN,
+            rebuild_every: REBUILD_EVERY,
+            win: FactoredWindow::default(),
+            kappa_buf: Vec::new(),
         }
+    }
+
+    /// Overrides the incremental rebuild cadence. Differential-test hook:
+    /// forcing a rebuild every few packets exercises the rebuild/absorb
+    /// boundary continuously without changing any estimate (rebuilds are
+    /// semantically transparent).
+    #[doc(hidden)]
+    pub fn set_rebuild_cadence(&mut self, every: u32) {
+        self.rebuild_every = every.max(1);
+        self.win.valid = false;
     }
 
     /// Current offset estimate `θ̂`, if initialised.
@@ -230,88 +561,67 @@ impl OffsetEstimator {
             self.cached_cfg = (cfg.poll_period, cfg.tau_prime);
             self.cached_window_n = cfg.tau_prime_packets();
             self.cached_max_run = (2 * cfg.tau_prime_packets()).max(64) as u32;
+            self.win.valid = false;
         }
         let window_n = self.cached_window_n;
-        // Equation (21): θ̂(t) = Σ wᵢ (θ̂ᵢ − γ̂l (Cd(t) − Cd(Tf,i))) / Σ wᵢ
-        // (with γ̂l = 0 this is equation (20)). The per-packet correction
-        // projects each stored θ̂ᵢ forward by the residual rate over its age.
-        //
-        // One fused, allocation-free window pass (the buffers are reused
-        // across packets) accumulates every statistic the update needs: the
-        // weighted sums, the window quality gate (min Eᵀ), and the weighted
-        // mean total error that becomes the estimate's error bound. The
-        // weights cannot be maintained as incremental rolling sums without
-        // changing the estimator — the paper's total error Eᵀᵢ(t) (§5.3(i))
-        // is a function of the packet's age *at evaluation time*, so every
-        // weight changes with every new packet. The window is a fixed packet
-        // count (τ′/poll), so the pass is O(1) per packet in the history
-        // size. Splitting the pass into argument-preparation, exponential
-        // (crate::fastmath::exp_fast, straight-line arithmetic) and
-        // accumulation keeps each loop free of calls and branches so the
-        // compiler can vectorize them.
         let g = gamma_l.unwrap_or(0.0);
-        // One fused pass over the window: total errors, weights
-        // (exponentials evaluated in registers), weighted sums and the
-        // window minimum, with no intermediate buffers. See
-        // `fastmath::weight_pass` for the kernel and its accuracy contract.
-        let consts = crate::fastmath::WeightConsts {
-            ktf: k.tf_c,
-            p_hat,
-            aging: cfg.aging_rate,
-            inv_e: 1.0 / e_scale,
-            c_bar,
-            g,
-        };
-        let mut sums = crate::fastmath::WeightSums::identity();
-        if window_n <= SMALL_WINDOW {
-            // Coarse-polling fast path: with a handful of packets in τ′ the
-            // rolling ring cache costs more than resolving the window
-            // directly off the history tail into stack buffers. Baseline
-            // resolution is a pure function of (record, rebase generation),
-            // so the values — and the one contiguous kernel pass over them
-            // — are the ones the cache would have produced.
-            let view = history.baseline_view();
-            let mut pe_c = [0.0; SMALL_WINDOW];
-            let mut tf_c = [0.0; SMALL_WINDOW];
-            let mut hm_c = [0.0; SMALL_WINDOW];
-            let mut sm = [0.0; SMALL_WINDOW];
-            let mut n = 0usize;
-            for r in history.tail_raw(window_n) {
-                pe_c[n] = r.rtt_c - view.resolve(r);
-                tf_c[n] = r.tf_c;
-                hm_c[n] = r.hm_c;
-                sm[n] = r.sm;
-                n += 1;
-            }
-            sums.absorb(crate::fastmath::weight_pass(
-                &pe_c[..n],
-                &tf_c[..n],
-                &hm_c[..n],
-                &sm[..n],
-                &consts,
-            ));
-        } else {
-            self.cache.sync(history, k, window_n);
-            let n = self.cache.len.min(window_n).min(history.len());
-            let (r1, r2) = self.cache.ranges(n);
-            for rng in [r1, r2] {
-                if rng.is_empty() {
-                    continue;
-                }
-                sums.absorb(crate::fastmath::weight_pass(
-                    &self.cache.pe_c[rng.clone()],
-                    &self.cache.tf_c[rng.clone()],
-                    &self.cache.hm_c[rng.clone()],
-                    &self.cache.sm[rng],
-                    &consts,
-                ));
-            }
+        let eps = cfg.aging_rate;
+        // Freeze the weight rate ρ at the very first evaluation (see the
+        // module docs): from here the weight exponents are pure per-packet
+        // constants and the factored sums are exact. The warm-up→steady
+        // transition changes the scale once (3E → E); the incremental
+        // window treats that as one rebuild.
+        if self.rho.is_nan() {
+            self.rho = p_hat;
+            self.inv_lc_warm = self.rho / (3.0 * cfg.quality_scale * WEIGHT_LAMBDA_FRAC);
+            self.inv_lc_steady = self.rho / (cfg.quality_scale * WEIGHT_LAMBDA_FRAC);
         }
+        let inv_lc = if warmup {
+            self.inv_lc_warm
+        } else {
+            self.inv_lc_steady
+        };
+        let sums = if window_n <= SMALL_WINDOW {
+            // Coarse-polling windows: a direct full pass beats maintaining
+            // the rolling state for a handful of packets.
+            self.win.valid = false;
+            full_pass(
+                history,
+                k,
+                window_n,
+                p_hat,
+                c_bar,
+                g,
+                eps,
+                inv_lc,
+                &mut self.kappa_buf,
+            )
+        } else {
+            if !self
+                .win
+                .advance(history, k, window_n, eps, inv_lc, p_hat)
+            {
+                self.win.rebuild(
+                    history,
+                    k,
+                    window_n,
+                    eps,
+                    inv_lc,
+                    p_hat,
+                    c_bar,
+                    self.rebuild_every,
+                    &mut self.kappa_buf,
+                );
+            }
+            self.win.eval(k, p_hat, c_bar, g, eps)
+        };
         let (sum_w, sum_wth, sum_wet, min_et) =
             (sums.sum_w, sums.sum_wth, sums.sum_wet, sums.min_et);
 
         let first = self.theta.is_none();
-        let quality_poor = min_et > cfg.e_fallback() || sum_w <= f64::MIN_POSITIVE;
+        // The window's best packet always carries weight 1 (excess 0), so
+        // the gate is purely the §5.3(iii) quality condition.
+        let quality_poor = min_et > cfg.e_fallback();
 
         let (candidate, mut event) = if quality_poor && !first {
             if gap_large {
@@ -388,7 +698,7 @@ impl OffsetEstimator {
         self.last_tfc = k.tf_c;
         if event == OffsetEvent::Weighted || event == OffsetEvent::Initialised {
             // error of a weighted estimate ≈ weighted mean total error
-            // (already accumulated by the fused pass above)
+            // (already accumulated by the window machinery above)
             if sum_w > 0.0 {
                 self.last_err = sum_wet / sum_w;
             }
@@ -580,5 +890,47 @@ mod tests {
         let est = OffsetEstimator::new();
         assert!(est.theta().is_none());
         assert!(est.predict(0.0, P, None).is_none());
+    }
+
+    /// The incremental machinery must agree with a from-scratch estimator
+    /// whose every window evaluation is a rebuild (cadence 1 ⇒ the sums
+    /// are refilled exactly each packet): any drift between the rolling
+    /// and refilled forms beyond float noise is a bug. Exercises new
+    /// minima (rebase events), congestion spikes (domination guard) and
+    /// a long clean run (cadence rebuilds).
+    #[test]
+    fn incremental_matches_forced_rebuild_estimator() {
+        let c = cfg();
+        let (mut h1, mut h2) = (History::new(10_000), History::new(10_000));
+        let mut rolling = OffsetEstimator::new();
+        let mut refill = OffsetEstimator::new();
+        refill.set_rebuild_cadence(1);
+        let e0 = ex(0.0, 0.0);
+        let c_bar = c_bar_for(&e0, P);
+        for k in 0..2500u64 {
+            // deterministic congestion pattern with a mid-run improvement
+            // of the RTT floor (new-minimum rebase) at k = 900
+            let q = match k {
+                _ if k % 11 == 0 => 1.5e-3,
+                _ if k % 7 == 3 => 120e-6,
+                _ => (k % 5) as f64 * 8e-6,
+            };
+            let mut e = ex(k as f64 * 16.0, q);
+            if k >= 900 {
+                // downward route change: every RTT 80 µs shorter
+                e.tb -= 40e-6;
+                e.te -= 40e-6;
+                e.tf_tsc -= (80e-6 / P) as u64;
+            }
+            let r1 = admit(&mut h1, e, P, c_bar);
+            let r2 = admit(&mut h2, e, P, c_bar);
+            let (a, ev_a) = rolling.process(&c, &h1, &r1, P, c_bar, None, k < 16, false);
+            let (b, ev_b) = refill.process(&c, &h2, &r2, P, c_bar, None, k < 16, false);
+            assert_eq!(ev_a, ev_b, "event diverged at {k}");
+            assert!(
+                (a - b).abs() <= 1e-12 * a.abs().max(b.abs()) + 5e-11,
+                "θ̂ diverged at {k}: {a:e} vs {b:e}"
+            );
+        }
     }
 }

@@ -56,6 +56,39 @@ pub struct GlobalRate {
     /// is skipped — the coarse-poll fast path, where congested (quality-
     /// rejected) packets leave the whole stamp untouched.
     refresh_stamp: (u64, u64, u64, u64),
+    /// The `p̂`-independent parts of the pair quality (see [`PairCache`]).
+    /// Refreshed whenever the full `pair_estimate` path runs — including
+    /// [`GlobalRate::process_steady`] accepting a new `i` — so the
+    /// per-packet quality reassessment is four flops, bit-identical to
+    /// re-deriving the pair, instead of three divisions.
+    pair_cache: PairCache,
+}
+
+/// `p̂`-independent pair-quality parts: `key = rtt − r̂base` resolved at
+/// the cached re-basing generation, `dc` the counter baseline. The bound
+/// `(key_i·p̂ + key_j·p̂)/(dc·p̂)` reproduces `pair_estimate`'s
+/// `(ei + ej)/baseline` bit-for-bit for any `p̂ > 0`, and the estimate's
+/// *validity* (degenerate pair, non-positive baseline) does not depend on
+/// `p̂` at all.
+#[derive(Debug, Clone, Copy)]
+struct PairCache {
+    valid: bool,
+    j_idx: u64,
+    i_idx: u64,
+    dc: f64,
+    key_j: f64,
+    key_i: f64,
+}
+
+impl PairCache {
+    const EMPTY: PairCache = PairCache {
+        valid: false,
+        j_idx: u64::MAX,
+        i_idx: u64::MAX,
+        dc: 0.0,
+        key_j: 0.0,
+        key_i: 0.0,
+    };
 }
 
 impl GlobalRate {
@@ -73,6 +106,7 @@ impl GlobalRate {
             quality: f64::INFINITY,
             n_seen: 0,
             refresh_stamp: (u64::MAX, u64::MAX, u64::MAX, u64::MAX),
+            pair_cache: PairCache::EMPTY,
         }
     }
 
@@ -119,37 +153,70 @@ impl GlobalRate {
     fn refresh_from(&mut self, history: &History) {
         // Fast path: nothing the refresh reads has changed since it last
         // ran, so its outputs are already in place (see `refresh_stamp`).
-        // The warm-up record list is refreshed unconditionally while it
-        // exists — it is dropped at the end of warm-up.
         let stamp = (
             history.rebase_gen(),
             self.p_hat.map_or(u64::MAX, f64::to_bits),
             self.j.map_or(u64::MAX, |r| r.idx),
             self.i.map_or(u64::MAX, |r| r.idx),
         );
-        if self.warmup.is_empty() && stamp == self.refresh_stamp {
+        if stamp == self.refresh_stamp {
             return;
         }
+        let gen_changed = stamp.0 != self.refresh_stamp.0;
+        let pair_changed =
+            gen_changed || stamp.2 != self.refresh_stamp.2 || stamp.3 != self.refresh_stamp.3;
         self.refresh_stamp = stamp;
         // Stored records only ever change through baseline re-evaluation
         // (§6.1), so refreshing a copy means re-resolving its baseline —
-        // the rest of the record is immutable.
-        for slot in [&mut self.j, &mut self.i].into_iter().flatten() {
-            if let Some(fresh) = history.get_raw(slot.idx) {
-                slot.rbase_c = history.resolve_rbase(fresh);
+        // the rest of the record is immutable, and resolution is a pure
+        // function of the re-basing generation: copies are touched only
+        // when the generation moved (this includes the warm-up record
+        // list, whose newest entries were admitted with the baseline in
+        // force and so are current by construction).
+        if gen_changed {
+            for slot in [&mut self.j, &mut self.i].into_iter().flatten() {
+                if let Some(fresh) = history.get_raw(slot.idx) {
+                    slot.rbase_c = history.resolve_rbase(fresh);
+                }
+            }
+            for rec in self.warmup.iter_mut() {
+                if let Some(fresh) = history.get_raw(rec.idx) {
+                    rec.rbase_c = history.resolve_rbase(fresh);
+                }
             }
         }
-        for rec in self.warmup.iter_mut() {
-            if let Some(fresh) = history.get_raw(rec.idx) {
-                rec.rbase_c = history.resolve_rbase(fresh);
-            }
-        }
-        if let (Some(j), Some(i), Some(p)) = (self.j, self.i, self.p_hat) {
-            if i.idx != j.idx {
-                if let Some(pe) =
-                    pair_estimate(&j.ex, &i.ex, j.point_error(p), i.point_error(p), p)
-                {
-                    self.quality = pe.error_bound;
+        let cache_current = !gen_changed
+            && self.pair_cache.valid
+            && self.pair_cache.j_idx == stamp.2
+            && self.pair_cache.i_idx == stamp.3;
+        if cache_current {
+            // The pair's point-error keys and counter baseline are cached
+            // (from the last full derivation — here or in
+            // `process_steady`), so the reassessed bound is exactly
+            // `pair_estimate`'s `(ei + ej)/baseline` with the current p̂ —
+            // four flops instead of three divisions and two resolutions.
+            let p = self.p_hat.expect("cache implies estimate");
+            let c = self.pair_cache;
+            let ej = c.key_j * p;
+            let ei = c.key_i * p;
+            self.quality = (ei + ej) / (c.dc * p);
+        } else if pair_changed || gen_changed {
+            self.pair_cache = PairCache::EMPTY;
+            if let (Some(j), Some(i), Some(p)) = (self.j, self.i, self.p_hat) {
+                if i.idx != j.idx {
+                    if let Some(pe) =
+                        pair_estimate(&j.ex, &i.ex, j.point_error(p), i.point_error(p), p)
+                    {
+                        self.quality = pe.error_bound;
+                        self.pair_cache = PairCache {
+                            valid: true,
+                            j_idx: j.idx,
+                            i_idx: i.idx,
+                            dc: i.ex.tf_tsc.wrapping_sub(j.ex.tf_tsc) as i64 as f64,
+                            key_j: j.rtt_c - j.rbase_c,
+                            key_i: i.rtt_c - i.rbase_c,
+                        };
+                    }
                 }
             }
         }
@@ -266,6 +333,16 @@ impl GlobalRate {
         self.p_hat = Some(pe.p_hat);
         self.quality = pe.error_bound;
         self.i = Some(*record);
+        // Keep the pair cache current so the next refresh's quality
+        // reassessment (with the just-updated p̂) is the four-flop path.
+        self.pair_cache = PairCache {
+            valid: true,
+            j_idx: j.idx,
+            i_idx: record.idx,
+            dc: record.ex.tf_tsc.wrapping_sub(j.ex.tf_tsc) as i64 as f64,
+            key_j: j.rtt_c - j.rbase_c,
+            key_i: record.rtt_c - record.rbase_c,
+        };
         RateEvent::Updated
     }
 

@@ -8,8 +8,15 @@
 //!   whole retained deque, every window slide rescans the retained half to
 //!   recompute `r̂`, and upward shifts rewrite the stored baselines in
 //!   place — O(window) per event.
-//! * [`RefOffsetEstimator`] runs the §5.3 weighted sum as two separate
-//!   window scans (estimate, then error bound).
+//! * [`RefOffsetEstimator`] runs the §5.3 weighted sum as full window
+//!   scans repeated from scratch on every packet (estimate, then a second
+//!   scan for the error bound) — the plain transcription of the
+//!   factored-weight estimator definition that the optimized pipeline
+//!   maintains incrementally (see the `offset` module docs). The weight
+//!   *definition* (excess-over-window-minimum exponential, frozen weight
+//!   rate ρ after warm-up) is shared with the optimized estimator so the
+//!   differential suite can pin θ̂ parity at 1e-12; the *mechanism* here
+//!   stays O(window) per packet.
 //! * [`RefLocalRate`] collects the τ̄-span window into a temporary `Vec`
 //!   each packet before selecting the near/far best-quality packets.
 //!
@@ -494,13 +501,18 @@ impl RefLocalRate {
     }
 }
 
-/// Seed-era offset estimator: the §5.3 scheme with two window scans.
+/// Full-scan offset estimator: the §5.3 scheme with per-packet window
+/// scans (no rolling state whatsoever).
 #[derive(Debug, Clone)]
 pub struct RefOffsetEstimator {
     theta: Option<f64>,
     last_tfc: f64,
     last_err: f64,
     sanity_run: u32,
+    /// Frozen weight rate ρ (NaN until the first call) — the same freeze
+    /// rule as the optimized estimator, so the weight scales agree
+    /// bit-for-bit.
+    rho: f64,
 }
 
 impl Default for RefOffsetEstimator {
@@ -516,6 +528,7 @@ impl RefOffsetEstimator {
             last_tfc: f64::NAN,
             last_err: f64::INFINITY,
             sanity_run: 0,
+            rho: f64::NAN,
         }
     }
 
@@ -551,20 +564,35 @@ impl RefOffsetEstimator {
         let e_scale = cfg.quality_scale * if warmup { 3.0 } else { 1.0 };
         let window_n = cfg.tau_prime_packets();
         let g = gamma_l.unwrap_or(0.0);
+        let eps = cfg.aging_rate;
+        // Same freeze rule as the optimized estimator: the counter-domain
+        // weight scale uses the ρ frozen at the very first evaluation
+        // (the quality scale itself still follows warm-up's 3E).
+        if self.rho.is_nan() {
+            self.rho = p_hat;
+        }
+        let inv_lambda_c = self.rho / (e_scale * crate::offset::WEIGHT_LAMBDA_FRAC);
+        // Scan 1: the per-packet weight keys κᵢ and the window minimum.
+        let kappas: Vec<f64> = history
+            .last_n(window_n)
+            .map(|r| (r.rtt_c - r.rbase_c) - eps * r.tf_c)
+            .collect();
+        let kappa_min = kappas.iter().copied().fold(f64::INFINITY, f64::min);
+        let min_et = (kappa_min + eps * k.tf_c) * p_hat;
+        // Scan 2: weights and weighted sums.
         let mut sum_w = 0.0;
         let mut sum_wth = 0.0;
-        let mut min_et = f64::INFINITY;
-        for r in history.last_n(window_n) {
+        for (r, &kap) in history.last_n(window_n).zip(kappas.iter()) {
+            let w = crate::fastmath::exp_clamped(-((kap - kappa_min) * inv_lambda_c));
             let age = (k.tf_c - r.tf_c) * p_hat;
-            let et = r.point_error(p_hat) + cfg.aging_rate * age;
-            min_et = min_et.min(et);
-            let w = (-(et / e_scale).powi(2)).exp();
             sum_w += w;
             sum_wth += w * (theta_of(r) - g * age);
         }
 
         let first = self.theta.is_none();
-        let quality_poor = min_et > cfg.e_fallback() || sum_w <= f64::MIN_POSITIVE;
+        // The window's best packet always carries weight 1 (excess 0), so
+        // the gate is purely the §5.3(iii) quality condition.
+        let quality_poor = min_et > cfg.e_fallback();
 
         let (candidate, mut event) = if quality_poor && !first {
             if gap_large {
@@ -622,12 +650,12 @@ impl RefOffsetEstimator {
         self.theta = Some(theta_new);
         self.last_tfc = k.tf_c;
         if event == OffsetEvent::Weighted || event == OffsetEvent::Initialised {
+            // A third full scan for the error bound — deliberately naive.
             let mut sw = 0.0;
             let mut swe = 0.0;
-            for r in history.last_n(window_n) {
-                let age = (k.tf_c - r.tf_c) * p_hat;
-                let et = r.point_error(p_hat) + cfg.aging_rate * age;
-                let w = (-(et / e_scale).powi(2)).exp();
+            for &kap in kappas.iter() {
+                let w = crate::fastmath::exp_clamped(-((kap - kappa_min) * inv_lambda_c));
+                let et = (kap + eps * k.tf_c) * p_hat;
                 sw += w;
                 swe += w * et;
             }
@@ -761,14 +789,18 @@ impl ReferenceClock {
         }
 
         let record = *self.history.last().expect("present");
-        match self.local_rate.process(&self.history, &record, p_hat) {
-            crate::local_rate::LocalRateEvent::Updated => {
-                events.push(ClockEvent::LocalRateUpdated)
+        // Mirrors the optimized clock: a disabled local rate is not
+        // maintained (see `TscNtpClock::process_admitted`).
+        if self.cfg.use_local_rate {
+            match self.local_rate.process(&self.history, &record, p_hat) {
+                crate::local_rate::LocalRateEvent::Updated => {
+                    events.push(ClockEvent::LocalRateUpdated)
+                }
+                crate::local_rate::LocalRateEvent::SanityDuplicated => {
+                    events.push(ClockEvent::LocalRateSanity)
+                }
+                _ => {}
             }
-            crate::local_rate::LocalRateEvent::SanityDuplicated => {
-                events.push(ClockEvent::LocalRateSanity)
-            }
-            _ => {}
         }
 
         let gap_large = self.prev_tfc.is_finite()

@@ -1,12 +1,15 @@
 //! Extension X3: quorum vs single-server synchronization under server
-//! faults.
+//! faults, on the **paper's own three-server testbed**
+//! ([`MultiServerScenario::paper_testbed`]: ServerLoc + ServerInt +
+//! ServerExt, the Table-2 configuration).
 //!
-//! Runs the same 3-server scenario — one server develops a silent
-//! asymmetry step mid-run — four ways:
+//! Runs the same 3-server scenario — the far (Ext) server develops a
+//! silent asymmetry step mid-run — four ways:
 //!
-//! 1. **single-good** — one clock pinned to a healthy server;
-//! 2. **single-bad** — one clock pinned to the faulted server (what an
-//!    unlucky single-server deployment gets);
+//! 1. **single-good** — one clock pinned to the healthy local (Loc)
+//!    server;
+//! 2. **single-bad** — one clock pinned to the faulted Ext server (what
+//!    an unlucky single-server deployment gets);
 //! 3. **mean-all** — naive unweighted mean of all three members, no
 //!    exclusion (what a trivial combiner gets: the liar drags it);
 //! 4. **quorum** — the full health-weighted robust combination.
@@ -30,16 +33,16 @@ pub fn run(opt: ExpOptions) -> Report {
     let hours = if opt.full { 48.0 } else { 12.0 };
     let onset = hours * 3600.0 / 2.0;
     let delta = 2.0e-3;
-    let mut sc = MultiServerScenario::baseline(3, opt.seed).with_duration(hours * 3600.0);
-    for k in 0..3 {
-        sc.servers[k] = ServerPath::new(ServerKind::Ext);
-    }
+    // The Table-2 testbed: Loc + Int + Ext. The asymmetry step lands on
+    // the Ext path — the only one whose backward minimum (~6.8 ms) has
+    // room for an RTT-silent −delta/2 leg.
+    let mut sc = MultiServerScenario::paper_testbed(opt.seed).with_duration(hours * 3600.0);
     sc = sc.with_server_path(
         2,
         ServerPath::new(ServerKind::Ext).with_shift(LevelShift::asymmetric(onset, None, delta)),
     );
     r.line(format!(
-        "3 × ServerExt, poll {} s, {hours} h; server 2 takes a {:.1} ms asymmetry step at {:.0} h",
+        "paper testbed (Loc + Int + Ext), poll {} s, {hours} h; ServerExt takes a {:.1} ms asymmetry step at {:.0} h",
         sc.poll_period,
         delta * 1e3,
         onset / 3600.0

@@ -99,9 +99,15 @@ fn fold_output(mut h: u64, o: &QuorumOutput) -> u64 {
     h
 }
 
+/// Rounds accumulated per [`QuorumClock::process_batch`] call in the
+/// replay loop.
+const BATCH_ROUNDS: usize = 64;
+
 /// Replays a single quorum entry against `template` with the master seed
-/// overridden by `seed`. Allocation-free in steady state: the round
-/// buffers are reused across the whole replay.
+/// overridden by `seed`. Ingest is batched ([`QuorumClock::process_batch`]
+/// over [`BATCH_ROUNDS`]-round flattened chunks — bit-identical to the
+/// per-round loop) and allocation-free in steady state: the round,
+/// batch and output buffers are all reused across the whole replay.
 pub fn replay_quorum_entry(
     fleet_index: usize,
     template: &MultiServerScenario,
@@ -112,17 +118,28 @@ pub fn replay_quorum_entry(
     let mut q = QuorumClock::new(k, *quorum_cfg);
     let mut stream = template.stream_with_seed(seed);
     let mut samples: Vec<RoundSample> = Vec::with_capacity(k);
-    let mut round: Vec<Option<RawExchange>> = Vec::with_capacity(k);
+    let mut flat: Vec<Option<RawExchange>> = Vec::with_capacity(k * BATCH_ROUNDS);
+    let mut outs: Vec<QuorumOutput> = Vec::with_capacity(BATCH_ROUNDS);
     let mut digest = FNV_OFFSET;
     let (mut rounds, mut combined_rounds, mut delivered) = (0u64, 0u64, 0u64);
-    while stream.next_round(&mut samples) {
-        round.clear();
-        round.extend(samples.iter().map(|s| s.delivered.then_some(s.raw)));
-        let out = q.process_round(&round);
-        rounds += 1;
-        combined_rounds += u64::from(out.combined);
-        delivered += u64::from(out.delivered_mask.count_ones());
-        digest = fold_output(digest, &out);
+    let mut exhausted = false;
+    while !exhausted {
+        flat.clear();
+        while flat.len() < k * BATCH_ROUNDS {
+            if !stream.next_round(&mut samples) {
+                exhausted = true;
+                break;
+            }
+            flat.extend(samples.iter().map(|s| s.delivered.then_some(s.raw)));
+        }
+        outs.clear();
+        q.process_batch(&flat, &mut outs);
+        for out in &outs {
+            rounds += 1;
+            combined_rounds += u64::from(out.combined);
+            delivered += u64::from(out.delivered_mask.count_ones());
+            digest = fold_output(digest, out);
+        }
     }
     let trust: Vec<f64> = (0..k).map(|s| q.trust(s)).collect();
     let mut demoted_mask = 0u32;

@@ -133,6 +133,44 @@ fn quorum_fleet_replay_is_bit_exact_at_every_thread_count() {
     }
 }
 
+/// The paper's Table-2 testbed (Loc + Int + Ext,
+/// `MultiServerScenario::paper_testbed`) as a fleet template, with a
+/// silent asymmetry step on the Ext path: every entry's quorum must
+/// demote the faulted far server while the heterogeneous-but-healthy
+/// Loc/Int pair keeps its vote, and replay must stay bit-exact across
+/// thread counts.
+#[test]
+fn paper_testbed_quorum_fleet_excludes_faulted_ext() {
+    let scenario = MultiServerScenario::paper_testbed(0)
+        .with_duration(16.0 * 600.0)
+        .with_server_path(
+            2,
+            ServerPath::new(ServerKind::Ext)
+                .with_shift(LevelShift::asymmetric(16.0 * 300.0, None, 2e-3)),
+        );
+    let cfg = QuorumFleetConfig::new(6, 7, scenario, QuorumConfig::paper_defaults(16.0));
+    let expected = replay_quorum_sequential(&cfg);
+    assert_eq!(expected.len(), 6);
+    let demoted = expected
+        .iter()
+        .filter(|s| s.demoted_mask & 0b100 != 0)
+        .count();
+    assert!(demoted >= 5, "Ext fault demoted in only {demoted}/6 entries");
+    for s in &expected {
+        assert_eq!(
+            s.demoted_mask & 0b011,
+            0,
+            "healthy Loc/Int demoted in entry {}",
+            s.entry
+        );
+        assert!(s.combined_rounds > 500, "entry {}", s.entry);
+    }
+    for threads in parity_thread_counts() {
+        let mut pool = WorkerPool::new(threads);
+        assert_eq!(replay_quorum_fleet(&mut pool, &cfg), expected, "threads {threads}");
+    }
+}
+
 #[test]
 fn quorum_fleet_chunk_size_cannot_change_results() {
     let cfg0 = eventful_quorum_fleet(6);

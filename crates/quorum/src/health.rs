@@ -47,8 +47,19 @@ pub struct HealthConfig {
     /// Point-error → quality scale: a delivered packet scores
     /// `quality_floor + (1 − quality_floor)·exp(−Eᵢ/pe_scale)`.
     pub pe_scale: f64,
-    /// EMA gain of the point-error bound.
+    /// EMA gain of the point-error bound for *improving* samples (new
+    /// point error below the EMA): the bound tracks a clean server down
+    /// quickly, tightening its disagreement tolerance.
     pub pe_alpha: f64,
+    /// EMA gain for *degrading* samples (new point error above the EMA);
+    /// must not exceed `pe_alpha`. The asymmetry is a security property
+    /// on top of [`HealthConfig::pe_cap`]: the disagreement tolerance
+    /// derives from the server's own bound, so a server sliding into a
+    /// fault must not be able to widen its own exclusion tolerance in the
+    /// rounds *before* the cap bites — its bound rises a few times slower
+    /// than it falls, keeping the tolerance anchored to its recent healthy
+    /// self while the combiner judges the degradation.
+    pub pe_alpha_up: f64,
     /// Cap on the per-packet point error folded into the bound. This is a
     /// security property as much as a noise clamp: the disagreement
     /// tolerance derives from the server's *own* bound, so a degrading
@@ -70,6 +81,7 @@ impl Default for HealthConfig {
             quality_floor: 0.65,
             pe_scale: 300e-6,
             pe_alpha: 0.05,
+            pe_alpha_up: 0.0125,
             pe_cap: 400e-6,
         }
     }
@@ -83,6 +95,12 @@ impl HealthConfig {
         }
         if !(self.pe_alpha > 0.0 && self.pe_alpha <= 1.0) {
             return Err("pe_alpha must be in (0, 1]".into());
+        }
+        if !(self.pe_alpha_up > 0.0 && self.pe_alpha_up <= self.pe_alpha) {
+            return Err(
+                "pe_alpha_up must be in (0, pe_alpha] (the bound must not rise faster than it falls)"
+                    .into(),
+            );
         }
         if !(0.0 <= self.demote_below && self.demote_below < self.readmit_above
             && self.readmit_above <= 1.0)
@@ -196,7 +214,14 @@ impl HealthTracker {
                 if self.pe_ema.is_nan() {
                     self.pe_ema = pe;
                 } else {
-                    self.pe_ema += cfg.pe_alpha * (pe - self.pe_ema);
+                    // Asymmetric EMA: fast down, slow up (see
+                    // `HealthConfig::pe_alpha_up`).
+                    let alpha = if pe > self.pe_ema {
+                        cfg.pe_alpha_up
+                    } else {
+                        cfg.pe_alpha
+                    };
+                    self.pe_ema += alpha * (pe - self.pe_ema);
                 }
             }
         }
@@ -346,6 +371,56 @@ mod tests {
         }
         assert!((t.trust() - cfg.miss_score).abs() < 0.02);
         assert!(t.demoted(), "a long outage must demote");
+    }
+
+    #[test]
+    fn ramping_fault_cannot_widen_its_own_tolerance_quickly() {
+        // Regression for the asymmetric EMA: a server whose point errors
+        // *ramp* toward the cap (a degrading route, or an attacker easing
+        // into a fault to stretch its disagreement tolerance) must see its
+        // bound rise several times slower than a symmetric EMA would
+        // allow, and recover (fall) at full speed afterwards.
+        let cfg = HealthConfig::default();
+        let mut asym = HealthTracker::new();
+        for _ in 0..200 {
+            asym.observe(&cfg, good()); // settle at ~30 µs
+        }
+        let settled = asym.point_error_bound(&cfg);
+        // mirror tracker with a symmetric EMA (pe_alpha both ways)
+        let mut sym_ema = settled;
+        // 40-round ramp from 30 µs to the 400 µs cap
+        let mut worst_ratio: f64 = 0.0;
+        for i in 0..40 {
+            let pe = 30e-6 + (i as f64 + 1.0) / 40.0 * 370e-6;
+            asym.observe(
+                &cfg,
+                RoundObservation {
+                    delivered: true,
+                    point_error: Some(pe),
+                    ..Default::default()
+                },
+            );
+            sym_ema += cfg.pe_alpha * (pe.min(cfg.pe_cap) - sym_ema);
+            let a = asym.point_error_bound(&cfg);
+            worst_ratio = worst_ratio.max((a - settled) / (sym_ema - settled));
+        }
+        assert!(
+            worst_ratio < 0.45,
+            "asymmetric bound rose at {worst_ratio:.2}× the symmetric rate (want < 0.45×)"
+        );
+        // the rise stayed well below the cap during the whole ramp
+        assert!(
+            asym.point_error_bound(&cfg) < 150e-6,
+            "bound after the ramp: {}",
+            asym.point_error_bound(&cfg)
+        );
+        // recovery is fast: clean rounds pull the bound back down at the
+        // full pe_alpha rate
+        for _ in 0..60 {
+            asym.observe(&cfg, good());
+        }
+        let b = asym.point_error_bound(&cfg);
+        assert!((b - 30e-6).abs() < 15e-6, "bound must fall promptly, got {b}");
     }
 
     #[test]

@@ -244,7 +244,7 @@ impl QuorumClock {
         if let Some(tsc_ref) = tsc_ref {
             self.candidates.clear();
             for (k, s) in self.servers.iter().enumerate() {
-                let (Some(y), Some(p)) = (s.clock.absolute_time(tsc_ref), s.clock.status().p_hat)
+                let (Some(y), Some(p)) = (s.clock.absolute_time(tsc_ref), s.clock.p_hat())
                 else {
                     continue;
                 };
@@ -294,6 +294,37 @@ impl QuorumClock {
             utc_ref: combined.map_or(f64::NAN, |c| c.utc_ref),
             p_hat: combined.map_or(f64::NAN, |c| c.p_hat),
         }
+    }
+
+    /// Batched ingest: feeds `rounds.len() / K` consecutive rounds — a
+    /// flattened row-major slice, `K` entries per round — appending one
+    /// [`QuorumOutput`] per round to `out`; returns how many were
+    /// appended.
+    ///
+    /// Results are **bit-identical** to calling
+    /// [`QuorumClock::process_round`] in a loop. This is the fleet-replay
+    /// ingest path: one output buffer is reused across a whole entry, the
+    /// flat input keeps consecutive rounds contiguous in cache, and the
+    /// per-round scratch (candidates, combiner sort buffer, observation
+    /// row) is already reused inside `process_round`, so a warmed-up
+    /// replay makes no allocation at all.
+    ///
+    /// # Panics
+    /// Panics when `rounds.len()` is not a multiple of the quorum size.
+    pub fn process_batch(
+        &mut self,
+        rounds: &[Option<RawExchange>],
+        out: &mut Vec<QuorumOutput>,
+    ) -> usize {
+        let k = self.servers.len();
+        assert_eq!(rounds.len() % k, 0, "flattened batch must be whole rounds");
+        let before = out.len();
+        out.reserve(rounds.len() / k);
+        for round in rounds.chunks_exact(k) {
+            let o = self.process_round(round);
+            out.push(o);
+        }
+        out.len() - before
     }
 }
 
@@ -428,6 +459,55 @@ mod tests {
     #[should_panic(expected = "one entry per server")]
     fn wrong_round_width_panics() {
         quorum(2).process_round(&[None]);
+    }
+
+    #[test]
+    fn process_batch_is_bit_identical_to_round_loop() {
+        // same rounds (including losses and a lying server), fed per-round
+        // vs flattened in various batch sizes: outputs and final state
+        // must match bit-for-bit
+        let k = 3usize;
+        let rounds: Vec<Option<RawExchange>> = (0..500u64)
+            .flat_map(|i| {
+                let t = i as f64 * 16.0;
+                let asym = if i > 250 { 2e-3 } else { 0.0 };
+                [
+                    Some(ex(t, 0.0)),
+                    (i % 11 != 0).then_some(ex(t, 0.0)),
+                    Some(ex(t, asym)),
+                ]
+            })
+            .collect();
+        let mut seq = quorum(k);
+        let expected: Vec<QuorumOutput> =
+            rounds.chunks_exact(k).map(|r| seq.process_round(r)).collect();
+        for chunk_rounds in [1usize, 7, 64, 500] {
+            let mut batched = quorum(k);
+            let mut out = Vec::new();
+            let mut appended = 0;
+            for chunk in rounds.chunks(chunk_rounds * k) {
+                appended += batched.process_batch(chunk, &mut out);
+            }
+            assert_eq!(appended, expected.len(), "batch {chunk_rounds}");
+            for (a, b) in out.iter().zip(&expected) {
+                assert_eq!(a.round, b.round);
+                assert_eq!(a.delivered_mask, b.delivered_mask);
+                assert_eq!(a.excluded_mask, b.excluded_mask);
+                assert_eq!(a.demoted_mask, b.demoted_mask);
+                assert_eq!(a.utc_ref.to_bits(), b.utc_ref.to_bits());
+                assert_eq!(a.p_hat.to_bits(), b.p_hat.to_bits());
+            }
+            for s in 0..k {
+                assert_eq!(batched.trust(s).to_bits(), seq.trust(s).to_bits());
+                assert_eq!(batched.demoted(s), seq.demoted(s));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "whole rounds")]
+    fn ragged_batch_panics() {
+        quorum(2).process_batch(&[None, None, None], &mut Vec::new());
     }
 
     #[test]

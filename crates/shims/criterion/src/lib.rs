@@ -15,11 +15,14 @@
 //!
 //! When the `BENCH_JSON` environment variable names a path, every bench
 //! binary writes its measurements there as a JSON array of
-//! `{"bench", "mean_ns", "iters", "elements_per_iter",
+//! `{"bench", "mean_ns", "median_ns", "iters", "elements_per_iter",
 //! "throughput_per_sec"}` records on exit (via the `criterion_main!`
 //! epilogue) — the hook the repo uses to track its performance trajectory
-//! across PRs (e.g. `BENCH_fleet.json`). Smoke runs (`--test`) record
-//! nothing.
+//! across PRs (e.g. `BENCH_fleet.json`). `median_ns` is the median of the
+//! per-batch sample means: on a single-core host the scheduler can stall
+//! one batch for tens of milliseconds, inflating the mean of a short
+//! benchmark by double-digit percentages while the median stays put —
+//! prefer it when comparing runs. Smoke runs (`--test`) record nothing.
 
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -147,6 +150,7 @@ where
         budget: c.measure_budget,
         total: Duration::ZERO,
         iters: 0,
+        samples: Vec::new(),
     };
     f(&mut b);
     if c.test_mode {
@@ -158,7 +162,8 @@ where
         return;
     }
     let ns = b.total.as_nanos() as f64 / b.iters as f64;
-    record_result(id, ns, b.iters, throughput);
+    let median = b.median_ns().unwrap_or(ns);
+    record_result(id, ns, median, b.iters, throughput);
     let rate = match throughput {
         Some(Throughput::Elements(n)) => {
             format!("  thrpt: {:>12} elem/s", human(n as f64 / (ns * 1e-9)))
@@ -175,6 +180,7 @@ where
 struct BenchRecord {
     name: String,
     mean_ns: f64,
+    median_ns: f64,
     iters: u64,
     elements_per_iter: Option<u64>,
     bytes_per_iter: Option<u64>,
@@ -182,7 +188,13 @@ struct BenchRecord {
 
 static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
 
-fn record_result(id: &str, mean_ns: f64, iters: u64, throughput: Option<Throughput>) {
+fn record_result(
+    id: &str,
+    mean_ns: f64,
+    median_ns: f64,
+    iters: u64,
+    throughput: Option<Throughput>,
+) {
     let (elements, bytes) = match throughput {
         Some(Throughput::Elements(n)) => (Some(n), None),
         Some(Throughput::Bytes(n)) => (None, Some(n)),
@@ -191,6 +203,7 @@ fn record_result(id: &str, mean_ns: f64, iters: u64, throughput: Option<Throughp
     RESULTS.lock().expect("results lock").push(BenchRecord {
         name: id.to_string(),
         mean_ns,
+        median_ns,
         iters,
         elements_per_iter: elements,
         bytes_per_iter: bytes,
@@ -228,9 +241,10 @@ pub fn write_json_report() {
             .map(|n| n.to_string())
             .unwrap_or_else(|| "null".into());
         out.push_str(&format!(
-            "  {{\"bench\": {:?}, \"mean_ns\": {}, \"iters\": {}, \"elements_per_iter\": {}, \"throughput_per_sec\": {}}}{}\n",
+            "  {{\"bench\": {:?}, \"mean_ns\": {}, \"median_ns\": {}, \"iters\": {}, \"elements_per_iter\": {}, \"throughput_per_sec\": {}}}{}\n",
             r.name,
             json_num(r.mean_ns),
+            json_num(r.median_ns),
             r.iters,
             elems,
             rate,
@@ -274,9 +288,25 @@ pub struct Bencher {
     budget: Duration,
     total: Duration,
     iters: u64,
+    /// Per-batch sample means (ns per iteration), for the median.
+    samples: Vec<f64>,
 }
 
 impl Bencher {
+    /// Median of the per-batch sample means, if any batches were timed.
+    fn median_ns(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut s = self.samples.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("finite sample times"));
+        let n = s.len();
+        Some(if n % 2 == 1 {
+            s[n / 2]
+        } else {
+            0.5 * (s[n / 2 - 1] + s[n / 2])
+        })
+    }
     /// Times `f` repeatedly until the measurement budget is exhausted.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         if self.test_mode {
@@ -303,8 +333,10 @@ impl Bencher {
             for _ in 0..batch {
                 black_box(f());
             }
-            self.total += t0.elapsed();
+            let dt = t0.elapsed();
+            self.total += dt;
             self.iters += batch;
+            self.samples.push(dt.as_nanos() as f64 / batch as f64);
         }
     }
 
@@ -325,8 +357,10 @@ impl Bencher {
             let input = setup();
             let t0 = Instant::now();
             black_box(routine(input));
-            self.total += t0.elapsed();
+            let dt = t0.elapsed();
+            self.total += dt;
             self.iters += 1;
+            self.samples.push(dt.as_nanos() as f64);
             if Instant::now() >= deadline {
                 break;
             }

@@ -1,0 +1,119 @@
+//! Differential property test for the factored-weight incremental offset
+//! estimator (see `tscclock::offset`): the O(1) rolling-sum machinery vs
+//! the preserved full-pass reference pipeline, with the **rebuild cadence
+//! forced down** so the rebuild/absorb boundary — the only place where
+//! the incremental and refilled forms of the sums can disagree — is
+//! crossed continuously instead of every 1024 packets.
+//!
+//! Rebuilds are semantically transparent (they recompute exactly what the
+//! rolling sums track), so *every* cadence must produce θ̂ within the
+//! standard parity budget of the reference, over scenarios that exercise
+//! re-basing events (new minima), upward shifts, data gaps and top-window
+//! slides.
+
+use proptest::prelude::*;
+use tscclock_repro::clock::reference::ReferenceClock;
+use tscclock_repro::clock::{ClockConfig, RawExchange, TscNtpClock};
+
+proptest! {
+    /// θ̂ parity (1e-12 relative + 50 ps floor) between the incremental
+    /// estimator at an arbitrary forced rebuild cadence and the full-pass
+    /// reference, plus bit-exactness of the branch-free estimates, over
+    /// randomized congestion streams with a route shift and a data gap.
+    #[test]
+    fn incremental_estimator_matches_reference_at_any_rebuild_cadence(
+        seed_delays in prop::collection::vec(
+            (0.0f64..10e-3, 0.0f64..10e-3, 0.0f64..2e-3), 60..350),
+        cadence_idx in 0usize..8,
+        shift_at in 60usize..200,
+        shift_ms in 0.5f64..3.0,
+        gap_at in 40usize..200,
+        gap_s in 0.0f64..40_000.0,
+    ) {
+        let cadence = [1u32, 2, 3, 5, 7, 16, 64, 1024][cadence_idx];
+        let mut cfg = ClockConfig::paper_defaults(16.0);
+        // Shrunk windows: slides, shifts and re-basing all happen within a
+        // few hundred packets, and τ′ = 16 packets keeps the incremental
+        // path (not the ≤4-packet stack path) in play.
+        cfg.top_window = 80.0 * 16.0;
+        cfg.ts_window = 20.0 * 16.0;
+        cfg.tau_prime = 16.0 * 16.0;
+        cfg.tau_bar = 32.0 * 16.0;
+        cfg.w_split = 4;
+        cfg.warmup_packets = 16;
+
+        let p_true = 1.0000524e-9;
+        let mut optimized = TscNtpClock::new(cfg);
+        optimized.set_offset_rebuild_cadence(cadence);
+        let mut reference = ReferenceClock::new(cfg);
+        let mut t = 0.0f64;
+        for (k, &(qf, qb, serr)) in seed_delays.iter().enumerate() {
+            t += 16.0;
+            if k == gap_at {
+                t += gap_s;
+            }
+            let d = 450e-6 + if k >= shift_at { shift_ms * 1e-3 / 2.0 } else { 0.0 };
+            let e = RawExchange {
+                ta_tsc: (t / p_true) as u64,
+                tb: t + d + qf + serr,
+                te: t + d + qf + serr + 20e-6,
+                tf_tsc: ((t + 2.0 * d + 20e-6 + qf + qb) / p_true) as u64,
+            };
+            let a = optimized.process(e);
+            let b = reference.process(e);
+            prop_assert_eq!(a.is_some(), b.is_some(), "admission diverged at {}", k);
+            let (Some(a), Some(b)) = (a, b) else { continue };
+            prop_assert_eq!(a.p_hat.to_bits(), b.p_hat.to_bits(),
+                "p_hat diverged at {} (cadence {})", k, cadence);
+            prop_assert_eq!(a.point_error.to_bits(), b.point_error.to_bits(),
+                "point_error diverged at {} (cadence {})", k, cadence);
+            let close = |x: f64, y: f64| {
+                x == y || (x - y).abs() <= 1e-12 * x.abs().max(y.abs()) + 5e-11
+            };
+            prop_assert!(close(a.theta_hat, b.theta_hat),
+                "theta_hat diverged at {} (cadence {}): {:e} vs {:e}",
+                k, cadence, a.theta_hat, b.theta_hat);
+        }
+    }
+
+    /// Two incremental clocks at *different* cadences must agree with each
+    /// other to the same budget — the cadence is an implementation knob,
+    /// never a semantic one.
+    #[test]
+    fn rebuild_cadence_is_semantically_transparent(
+        seed_delays in prop::collection::vec(
+            (0.0f64..8e-3, 0.0f64..8e-3), 60..250),
+        cadence_ia in 0usize..4,
+        cadence_ib in 0usize..4,
+    ) {
+        let cadence_a = [1u32, 3, 17, 1024][cadence_ia];
+        let cadence_b = [2u32, 5, 64, 4096][cadence_ib];
+        let mut cfg = ClockConfig::paper_defaults(16.0);
+        cfg.tau_prime = 16.0 * 16.0;
+        cfg.warmup_packets = 16;
+        let p_true = 1.0000524e-9;
+        let mut ca = TscNtpClock::new(cfg);
+        ca.set_offset_rebuild_cadence(cadence_a);
+        let mut cb = TscNtpClock::new(cfg);
+        cb.set_offset_rebuild_cadence(cadence_b);
+        for (k, &(qf, qb)) in seed_delays.iter().enumerate() {
+            let t = (k + 1) as f64 * 16.0;
+            let d = 450e-6;
+            let e = RawExchange {
+                ta_tsc: (t / p_true) as u64,
+                tb: t + d + qf,
+                te: t + d + qf + 20e-6,
+                tf_tsc: ((t + 2.0 * d + 20e-6 + qf + qb) / p_true) as u64,
+            };
+            let (a, b) = (ca.process(e), cb.process(e));
+            prop_assert_eq!(a.is_some(), b.is_some());
+            let (Some(a), Some(b)) = (a, b) else { continue };
+            let close = |x: f64, y: f64| {
+                x == y || (x - y).abs() <= 1e-12 * x.abs().max(y.abs()) + 5e-11
+            };
+            prop_assert!(close(a.theta_hat, b.theta_hat),
+                "cadences {} vs {} diverged at {}: {:e} vs {:e}",
+                cadence_a, cadence_b, k, a.theta_hat, b.theta_hat);
+        }
+    }
+}
