@@ -19,7 +19,10 @@
 //! (bench name, mean ns, packets/s) for cross-PR tracking.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use tsc_fleet::{replay_fleet, replay_sequential, total_delivered, FleetConfig, WorkerPool};
+use tsc_fleet::{
+    replay_fleet, replay_population, replay_population_sequential, replay_sequential,
+    total_delivered, FleetConfig, PopulationConfig, WorkerPool,
+};
 use tsc_netsim::Scenario;
 use tscclock::{ClockConfig, ProcessOutput, RawExchange, TscNtpClock};
 
@@ -96,5 +99,40 @@ fn bench_fleet_ingest(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_fleet_replay, bench_fleet_ingest);
+/// Lifecycle population replay: heterogeneous profiles, an outage, and
+/// client-scheduled (on-demand) exchanges — the robustness engine's cost
+/// relative to bare fixed-cadence fleet replay.
+fn bench_population_replay(c: &mut Criterion) {
+    let scenario = Scenario::baseline(0)
+        .with_poll_period(16.0)
+        .with_duration(4.0 * 3600.0)
+        .with_outage(7200.0, 7200.0 + 600.0);
+    let cfg = PopulationConfig::new(200, 1, scenario, ClockConfig::paper_defaults(16.0));
+    let requests: u64 = replay_population_sequential(&cfg)
+        .clients
+        .iter()
+        .map(|cl| cl.counters.0)
+        .sum();
+    let mut g = c.benchmark_group("population_replay_200clients");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(requests));
+    for threads in THREAD_COUNTS {
+        let cfg = cfg.clone();
+        let mut pool = WorkerPool::new(threads);
+        g.bench_function(format!("{threads}threads"), |b| {
+            b.iter(|| {
+                let summary = replay_population(&mut pool, &cfg);
+                std::hint::black_box(summary.digest())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fleet_replay,
+    bench_fleet_ingest,
+    bench_population_replay
+);
 criterion_main!(benches);

@@ -25,6 +25,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod fmt;
+pub mod population;
 pub mod quorum;
 pub mod runner;
 pub mod table1;
@@ -76,6 +77,7 @@ pub fn run_by_id(id: &str, opt: ExpOptions) -> Option<Report> {
         "baseline" => baseline::run(opt),
         "ablation" => ablation::run(opt),
         "quorum" => quorum::run(opt),
+        "population" => population::run(opt),
         _ => return None,
     })
 }
@@ -84,5 +86,5 @@ pub fn run_by_id(id: &str, opt: ExpOptions) -> Option<Report> {
 pub const ALL_IDS: &[&str] = &[
     "table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9a", "fig9b",
     "fig9c", "fig10", "fig11a", "fig11b", "fig11c", "fig11d", "fig12", "baseline", "ablation",
-    "quorum",
+    "quorum", "population",
 ];

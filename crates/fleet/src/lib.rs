@@ -52,11 +52,21 @@
 //! bound the pool's overhead instead); re-run the bench on a multi-core
 //! machine before citing a scaling factor.
 
+pub mod lifecycle;
 pub mod pool;
+pub mod population;
 pub mod quorum;
 pub mod replay;
 
+pub use lifecycle::{
+    ClientState, ExchangeOutcome, LifecycleClient, LifecycleConfig, ReadVerdict, Transition,
+    TransitionCause, STATE_COUNT,
+};
 pub use pool::WorkerPool;
+pub use population::{
+    compare_herd, replay_population, replay_population_client, replay_population_sequential,
+    ChurnPlan, ClientSummary, HerdComparison, PopulationConfig, PopulationSummary,
+};
 pub use quorum::{
     replay_quorum_entry, replay_quorum_fleet, replay_quorum_sequential, total_quorum_delivered,
     total_quorum_rounds, QuorumFleetConfig, QuorumSummary,

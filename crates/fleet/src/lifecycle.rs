@@ -1,0 +1,696 @@
+//! Client lifecycle state machine: how one host *survives the network*.
+//!
+//! The paper's algorithm assumes exchanges keep arriving; a production
+//! client must decide what to do when they don't. This module wraps
+//! [`TscNtpClock`] in the operational state machine a deployed time
+//! client runs — sync cadence, delay-threshold sample rejection, bounded
+//! exponential backoff with deterministic jitter, failure cooldown, and
+//! graceful degradation of the served time:
+//!
+//! ```text
+//!                    accepted sample,            accepted sample,
+//!                    clock not yet aligned       clock aligned
+//!   ┌──────────┐  ───────────────────────►  ┌─────────┐ ────────► ┌────────┐
+//!   │ Unsynced │                            │ Syncing │           │ Synced │
+//!   └──────────┘  ◄───── cooldown ──┐       └─────────┘ ◄──┐      └────────┘
+//!        ▲               expired    │            │         │        │    ▲
+//!        │                          │   max consecutive    │  ≥ degrade_after
+//!        │                    ┌──────────┐   timeouts      │  consecutive
+//!   (start here)              │  Failed  │ ◄───────────────┼─ rejects/timeouts
+//!                             │{cooldown}│                 │        │
+//!                             └──────────┘ ◄───────┐   accepted     ▼
+//!                                   ▲              │   sample  ┌──────────┐
+//!                                   └── max consec.└───────────│ Degraded │
+//!                                       timeouts               └──────────┘
+//!
+//!   Degraded serves the last-good Ca(t) with a bound that widens with
+//!   age; past `stale_horizon` every read returns a Stale verdict.
+//! ```
+//!
+//! The shape mirrors the embedded `TimeSynchronizer` exemplar
+//! (`SyncStatus` Unsynced/Synced/Failed{cooldown}, delay-threshold
+//! rejection, max-retry → cooldown), extended with the Syncing/Degraded
+//! distinction a serving clock needs: the paper's clock takes a long
+//! warm-up (τ′ ≈ 1000 s windows) before `Ca(t)` is trustworthy, and once
+//! warm it can keep serving *stale* estimates with honestly widening
+//! error bounds long after the network turned hostile.
+//!
+//! # Determinism
+//!
+//! The machine consumes no wall clock and no entropy beyond a private
+//! ChaCha stream seeded by `splitmix64(seed ^ JITTER_SALT)`: the same
+//! `(config, seed)` and the same outcome sequence reproduce the same
+//! retry schedule bit for bit — the backoff-determinism tests pin this,
+//! and the fleet parity suite relies on it.
+
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use tsc_netsim::profile::PathProfile;
+use tsc_netsim::multi::splitmix64;
+use tscclock::{ClockConfig, ProcessOutput, RawExchange, TscNtpClock};
+
+/// Salt of the per-client jitter stream.
+const JITTER_SALT: u64 = 0xC0_0F_EE_15_7E_A2_B4_D6;
+
+/// Operational state of a lifecycle client. `repr(u8)` indices are stable
+/// (used by the time-in-state accounting and the fleet digests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum ClientState {
+    /// No usable clock yet (cold start, or back from cooldown).
+    Unsynced = 0,
+    /// Exchanging and filtering, but the clock is not yet aligned.
+    Syncing = 1,
+    /// Aligned and fed by fresh accepted samples.
+    Synced = 2,
+    /// Was synced; recent samples rejected or lost. Serves last-good
+    /// `Ca(t)` with a widening bound.
+    Degraded = 3,
+    /// Max consecutive timeouts exhausted; in cooldown, not polling.
+    Failed = 4,
+}
+
+/// Number of states (size of time-in-state arrays).
+pub const STATE_COUNT: usize = 5;
+
+impl ClientState {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClientState::Unsynced => "Unsynced",
+            ClientState::Syncing => "Syncing",
+            ClientState::Synced => "Synced",
+            ClientState::Degraded => "Degraded",
+            ClientState::Failed => "Failed",
+        }
+    }
+}
+
+/// Why a transition fired (carried in the trace for demos/diagnostics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransitionCause {
+    /// An accepted sample warmed the clock into alignment.
+    Aligned,
+    /// An accepted sample arrived while not yet aligned.
+    Sampling,
+    /// Too many consecutive rejected/lost samples while serving.
+    DegradedByLosses,
+    /// Consecutive timeouts reached `max_retries`.
+    CooldownEntered,
+    /// The cooldown expired; polling resumes from scratch.
+    CooldownExpired,
+    /// An accepted sample ended a degraded spell.
+    Recovered,
+}
+
+/// One recorded transition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transition {
+    /// True time of the event (seconds since scenario start).
+    pub t: f64,
+    /// State before.
+    pub from: ClientState,
+    /// State after.
+    pub to: ClientState,
+    /// Why.
+    pub cause: TransitionCause,
+}
+
+/// Lifecycle policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LifecycleConfig {
+    /// Nominal sync cadence while healthy (seconds).
+    pub poll_period: f64,
+    /// How long to wait for a response before declaring the exchange
+    /// lost (seconds).
+    pub timeout: f64,
+    /// Delay-threshold rejection: a delivered exchange whose network RTT
+    /// (turnaround minus server residence) exceeds this is discarded
+    /// *before* it reaches the clock (seconds).
+    pub delay_threshold: f64,
+    /// Consecutive bad samples (rejected or lost) that push a Synced
+    /// client into Degraded.
+    pub degrade_after: u32,
+    /// First retry delay after a timeout (seconds); doubles per
+    /// consecutive timeout.
+    pub backoff_base: f64,
+    /// Retry delay ceiling (seconds).
+    pub backoff_max: f64,
+    /// Jitter fraction `j`: each retry delay is multiplied by a
+    /// deterministic uniform draw from `[1 − j/2, 1 + j/2]`. `0` disables
+    /// jitter — the naive herd-prone client.
+    pub jitter_frac: f64,
+    /// Consecutive timeouts before entering Failed{cooldown}.
+    pub max_retries: u32,
+    /// Cooldown length after max retries (seconds); also jittered.
+    pub cooldown: f64,
+    /// Reads older than this since the last accepted sample return
+    /// [`ReadVerdict::Stale`] (seconds).
+    pub stale_horizon: f64,
+    /// Floor of the served error bound (seconds).
+    pub bound_floor: f64,
+    /// Bound widening rate while no fresh samples arrive (s/s): the
+    /// holdover drift allowance, of the order of the oscillator's rate
+    /// stability (the paper's γ* ≈ 0.05–0.1 PPM).
+    pub widen_rate: f64,
+    /// Transition-trace capacity (older entries are kept, newer dropped,
+    /// so the interesting cold-start/outage structure survives).
+    pub max_trace: usize,
+}
+
+impl LifecycleConfig {
+    /// Defaults for a given poll period: timeout of a quarter period,
+    /// retries starting at a half period capped at 32 periods, jitter
+    /// fraction 1 (retry delays spread over ±50 %), 1-hour cooldown,
+    /// 4-hour staleness horizon.
+    pub fn defaults(poll_period: f64) -> Self {
+        Self {
+            poll_period,
+            timeout: (poll_period * 0.25).clamp(1.0, 30.0),
+            delay_threshold: 0.1,
+            degrade_after: 4,
+            backoff_base: poll_period * 0.5,
+            backoff_max: poll_period * 32.0,
+            jitter_frac: 1.0,
+            max_retries: 8,
+            cooldown: 3600.0,
+            stale_horizon: 4.0 * 3600.0,
+            bound_floor: 50e-6,
+            widen_rate: 1e-7,
+            max_trace: 4096,
+        }
+    }
+
+    /// Profile-aware defaults: the delay threshold must scale with the
+    /// access path (100 ms would reject *every* satellite exchange and
+    /// *no* datacenter outlier), set at 3× the profile's nominal RTT
+    /// plus a congestion allowance.
+    pub fn for_profile(profile: PathProfile, poll_period: f64) -> Self {
+        let params = profile.params();
+        Self {
+            delay_threshold: 3.0 * params.nominal_rtt()
+                + 4.0 * (params.fwd_queue_mean + params.back_queue_mean),
+            ..Self::defaults(poll_period)
+        }
+    }
+
+    /// The naive variant of this config for herd ablations: fixed
+    /// `retry` delay (no exponential growth), no jitter, and no give-up
+    /// — it hammers the server until it answers. This is the client
+    /// every thundering-herd postmortem blames.
+    pub fn naive(mut self, retry: f64) -> Self {
+        self.backoff_base = retry;
+        self.backoff_max = retry;
+        self.jitter_frac = 0.0;
+        self.max_retries = u32::MAX;
+        self
+    }
+}
+
+/// Outcome of handing one exchange (or its absence) to the client.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExchangeOutcome {
+    /// Fed to the clock; carries the clock's per-packet output when the
+    /// pipeline produced one.
+    Accepted(Option<ProcessOutput>),
+    /// Delivered but over the delay threshold; not fed to the clock.
+    Rejected { rtt: f64 },
+    /// Never delivered (loss or outage); noticed at the timeout.
+    TimedOut,
+}
+
+/// What a read of the served clock returns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReadVerdict {
+    /// Healthy: absolute time plus the current error bound.
+    Fresh { time: f64, bound: f64 },
+    /// Serving last-good state with an age-widened bound.
+    Degraded { time: f64, bound: f64, age: f64 },
+    /// Last accepted sample is beyond the staleness horizon; the client
+    /// refuses to vouch for a time.
+    Stale { age: f64 },
+    /// Never aligned — no time to serve at all.
+    Unavailable,
+}
+
+/// The lifecycle wrapper around one [`TscNtpClock`]. See the module docs
+/// for the state diagram; drive it with [`LifecycleClient::on_response`]
+/// / [`LifecycleClient::on_timeout`] and schedule requests off
+/// [`LifecycleClient::next_send`].
+#[derive(Debug)]
+pub struct LifecycleClient {
+    cfg: LifecycleConfig,
+    clock: TscNtpClock,
+    state: ClientState,
+    /// Scheduled send time of the next request (true seconds); `None`
+    /// while in cooldown until [`LifecycleClient::next_send`] re-arms.
+    next_send: f64,
+    /// End of the current cooldown (only meaningful in Failed).
+    cooldown_until: f64,
+    /// Consecutive timeouts (drives backoff and Failed).
+    consecutive_timeouts: u32,
+    /// Consecutive bad samples of any kind (drives Degraded).
+    consecutive_bad: u32,
+    /// Send time of the last accepted sample.
+    last_good_t: f64,
+    /// Error bound at the last accepted sample.
+    last_good_bound: f64,
+    /// Whether any sample was ever accepted with the clock aligned.
+    ever_aligned: bool,
+    rng: ChaCha12Rng,
+    trace: Vec<Transition>,
+    transitions: u64,
+    time_in_state: [f64; STATE_COUNT],
+    last_change_t: f64,
+    requests: u64,
+    accepted: u64,
+    rejected: u64,
+    timeouts: u64,
+}
+
+impl LifecycleClient {
+    /// A cold client joining at `join_t` (its first request is jittered
+    /// across one poll period so fleets don't start phase-locked).
+    pub fn new(cfg: LifecycleConfig, clock_cfg: ClockConfig, seed: u64, join_t: f64) -> Self {
+        let mut rng = ChaCha12Rng::seed_from_u64(splitmix64(seed ^ JITTER_SALT));
+        let phase: f64 = rng.random::<f64>() * cfg.poll_period;
+        Self {
+            cfg,
+            clock: TscNtpClock::new(clock_cfg),
+            state: ClientState::Unsynced,
+            next_send: join_t + phase,
+            cooldown_until: 0.0,
+            consecutive_timeouts: 0,
+            consecutive_bad: 0,
+            last_good_t: f64::NEG_INFINITY,
+            last_good_bound: f64::INFINITY,
+            ever_aligned: false,
+            rng,
+            trace: Vec::new(),
+            transitions: 0,
+            time_in_state: [0.0; STATE_COUNT],
+            last_change_t: join_t,
+            requests: 0,
+            accepted: 0,
+            rejected: 0,
+            timeouts: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> ClientState {
+        self.state
+    }
+
+    /// The wrapped clock (read-only).
+    pub fn clock(&self) -> &TscNtpClock {
+        &self.clock
+    }
+
+    /// Scheduled send time of the next request. In cooldown this is the
+    /// cooldown expiry: the driver should simply not send before it.
+    pub fn next_send(&self) -> f64 {
+        self.next_send
+    }
+
+    /// Records that a request was sent at `t` (for the request-rate
+    /// accounting the herd analysis aggregates).
+    pub fn note_request(&mut self) {
+        self.requests += 1;
+    }
+
+    /// Handles a delivered exchange whose response arrived at true time
+    /// `now`. `nominal_period` converts the counter turnaround to
+    /// seconds for the delay-threshold test (the client knows its
+    /// nominal frequency; p̂ refines it but must not gate admission —
+    /// a cold clock has no p̂ yet).
+    pub fn on_response(
+        &mut self,
+        now: f64,
+        raw: RawExchange,
+        nominal_period: f64,
+    ) -> ExchangeOutcome {
+        // leaving cooldown is handled by next_send(); a response can only
+        // arrive for a request we sent, so state is not Failed here
+        self.consecutive_timeouts = 0;
+        let rtt = (raw.tf_tsc.wrapping_sub(raw.ta_tsc)) as f64 * nominal_period
+            - (raw.te - raw.tb);
+        if rtt > self.cfg.delay_threshold {
+            self.rejected += 1;
+            self.consecutive_bad += 1;
+            self.maybe_degrade(now);
+            self.schedule_next(now, self.cfg.poll_period);
+            return ExchangeOutcome::Rejected { rtt };
+        }
+        let out = self.clock.process(raw);
+        self.accepted += 1;
+        self.consecutive_bad = 0;
+        let aligned = self.clock.absolute_time(raw.tf_tsc).is_some();
+        self.last_good_t = now;
+        self.last_good_bound = out
+            .map(|o| o.point_error.abs().max(self.cfg.bound_floor))
+            .unwrap_or(self.cfg.bound_floor)
+            .min(self.last_good_bound.max(self.cfg.bound_floor));
+        if aligned {
+            self.ever_aligned = true;
+        }
+        let target = if aligned {
+            ClientState::Synced
+        } else {
+            ClientState::Syncing
+        };
+        if self.state != target {
+            let cause = match (self.state, target) {
+                (ClientState::Degraded, ClientState::Synced) => TransitionCause::Recovered,
+                (_, ClientState::Synced) => TransitionCause::Aligned,
+                _ => TransitionCause::Sampling,
+            };
+            self.transition(now, target, cause);
+        }
+        self.schedule_next(now, self.cfg.poll_period);
+        ExchangeOutcome::Accepted(out)
+    }
+
+    /// Handles a request that got no response: `now` is the moment the
+    /// timeout fired (send time + `timeout`).
+    pub fn on_timeout(&mut self, now: f64) -> ExchangeOutcome {
+        self.timeouts += 1;
+        self.consecutive_timeouts += 1;
+        self.consecutive_bad += 1;
+        if self.consecutive_timeouts >= self.cfg.max_retries {
+            // max-retry → cooldown; the retry counter resets so the
+            // post-cooldown attempt starts a fresh backoff ladder
+            self.consecutive_timeouts = 0;
+            let cd = self.cfg.cooldown * self.jitter();
+            self.cooldown_until = now + cd;
+            self.transition(now, ClientState::Failed, TransitionCause::CooldownEntered);
+            self.next_send = self.cooldown_until;
+            return ExchangeOutcome::TimedOut;
+        }
+        self.maybe_degrade(now);
+        // bounded exponential backoff with deterministic jitter
+        let exp = (self.consecutive_timeouts - 1).min(30);
+        let backoff = (self.cfg.backoff_base * (1u64 << exp) as f64).min(self.cfg.backoff_max);
+        let delay = backoff * self.jitter();
+        self.schedule_next(now, delay);
+        ExchangeOutcome::TimedOut
+    }
+
+    /// Called by the driver when it observes `now` has passed the
+    /// cooldown expiry: Failed → Unsynced, polling resumes.
+    pub fn end_cooldown(&mut self, now: f64) {
+        if self.state == ClientState::Failed && now >= self.cooldown_until {
+            self.transition(now, ClientState::Unsynced, TransitionCause::CooldownExpired);
+        }
+    }
+
+    /// Reads the served clock at counter value `tsc`, `now` seconds into
+    /// the run. See [`ReadVerdict`] for the grades; the bound widens at
+    /// `widen_rate` per second of sample age once no fresh data arrives.
+    pub fn read(&self, tsc: u64, now: f64) -> ReadVerdict {
+        let Some(time) = self.clock.absolute_time(tsc) else {
+            return ReadVerdict::Unavailable;
+        };
+        if !self.ever_aligned {
+            return ReadVerdict::Unavailable;
+        }
+        let age = (now - self.last_good_t).max(0.0);
+        if age > self.cfg.stale_horizon {
+            return ReadVerdict::Stale { age };
+        }
+        let bound = self.last_good_bound.max(self.cfg.bound_floor)
+            + self.cfg.widen_rate * age;
+        match self.state {
+            ClientState::Synced | ClientState::Syncing => ReadVerdict::Fresh { time, bound },
+            _ => ReadVerdict::Degraded { time, bound, age },
+        }
+    }
+
+    /// The transition trace (capped at `max_trace`; the total count is
+    /// [`LifecycleClient::transition_count`]).
+    pub fn trace(&self) -> &[Transition] {
+        &self.trace
+    }
+
+    /// Total transitions, including any the capped trace dropped.
+    pub fn transition_count(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Seconds spent in each state (indexed by `ClientState as usize`),
+    /// up to the last transition; call
+    /// [`LifecycleClient::finish`] to account the tail.
+    pub fn time_in_state(&self) -> [f64; STATE_COUNT] {
+        self.time_in_state
+    }
+
+    /// Closes the books at `horizon`: accounts the time since the last
+    /// transition to the current state.
+    pub fn finish(&mut self, horizon: f64) {
+        let dt = (horizon - self.last_change_t).max(0.0);
+        self.time_in_state[self.state as usize] += dt;
+        self.last_change_t = horizon;
+    }
+
+    /// `(requests, accepted, rejected, timeouts)` counters.
+    pub fn counters(&self) -> (u64, u64, u64, u64) {
+        (self.requests, self.accepted, self.rejected, self.timeouts)
+    }
+
+    fn maybe_degrade(&mut self, now: f64) {
+        if self.state == ClientState::Synced && self.consecutive_bad >= self.cfg.degrade_after {
+            self.transition(now, ClientState::Degraded, TransitionCause::DegradedByLosses);
+        }
+    }
+
+    /// One deterministic jitter multiplier from `[1 − j/2, 1 + j/2]`.
+    fn jitter(&mut self) -> f64 {
+        if self.cfg.jitter_frac == 0.0 {
+            return 1.0;
+        }
+        1.0 + self.cfg.jitter_frac * (self.rng.random::<f64>() - 0.5)
+    }
+
+    fn schedule_next(&mut self, now: f64, delay: f64) {
+        self.next_send = now + delay.max(1e-3);
+    }
+
+    fn transition(&mut self, now: f64, to: ClientState, cause: TransitionCause) {
+        let dt = (now - self.last_change_t).max(0.0);
+        self.time_in_state[self.state as usize] += dt;
+        self.last_change_t = now;
+        if self.trace.len() < self.cfg.max_trace {
+            self.trace.push(Transition {
+                t: now,
+                from: self.state,
+                to,
+                cause,
+            });
+        }
+        self.transitions += 1;
+        self.state = to;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> LifecycleConfig {
+        LifecycleConfig::defaults(16.0)
+    }
+
+    fn client(seed: u64) -> LifecycleClient {
+        LifecycleClient::new(cfg(), ClockConfig::paper_defaults(16.0), seed, 0.0)
+    }
+
+    /// A synthetic good exchange at true time `t` for a 1 GHz counter.
+    fn good_raw(t: f64) -> RawExchange {
+        let rtt = 0.9e-3;
+        RawExchange {
+            ta_tsc: (t * 1e9) as u64,
+            tb: t + rtt / 2.0,
+            te: t + rtt / 2.0 + 12e-6,
+            tf_tsc: ((t + rtt) * 1e9) as u64,
+        }
+    }
+
+    #[test]
+    fn starts_unsynced_with_jittered_phase() {
+        let c = client(1);
+        assert_eq!(c.state(), ClientState::Unsynced);
+        assert!(c.next_send() >= 0.0 && c.next_send() < 16.0);
+        // phase jitter is seed-dependent
+        assert_ne!(client(1).next_send(), client(2).next_send());
+        assert_eq!(client(1).next_send(), client(1).next_send());
+    }
+
+    #[test]
+    fn accepted_samples_move_through_syncing() {
+        let mut c = client(3);
+        let out = c.on_response(16.0, good_raw(16.0), 1e-9);
+        assert!(matches!(out, ExchangeOutcome::Accepted(_)));
+        assert_eq!(c.state(), ClientState::Syncing, "not aligned after 1 sample");
+        assert_eq!(c.trace().len(), 1);
+        assert_eq!(c.trace()[0].to, ClientState::Syncing);
+    }
+
+    #[test]
+    fn delay_threshold_rejects_before_the_clock() {
+        let mut c = client(4);
+        let mut raw = good_raw(16.0);
+        // 400 ms turnaround: way over the 100 ms default threshold
+        raw.tf_tsc = raw.ta_tsc + (0.4e9) as u64;
+        let out = c.on_response(16.4, raw, 1e-9);
+        assert!(matches!(out, ExchangeOutcome::Rejected { .. }));
+        assert_eq!(c.clock().status().packets, 0, "rejected samples never reach the clock");
+        let (_, accepted, rejected, _) = c.counters();
+        assert_eq!((accepted, rejected), (0, 1));
+    }
+
+    #[test]
+    fn timeouts_backoff_exponentially_and_cap() {
+        let mut c = client(5);
+        let mut now = 16.0;
+        let mut delays = Vec::new();
+        for _ in 0..6 {
+            c.on_timeout(now);
+            let d = c.next_send() - now;
+            delays.push(d);
+            now = c.next_send() + cfg().timeout;
+        }
+        // jitter is ±50 %, doubling is ×2: consecutive delays must grow
+        // until the cap bites
+        for w in delays.windows(2) {
+            assert!(
+                w[1] > w[0] * 1.0 || w[0] >= cfg().backoff_max * 0.5,
+                "backoff should grow: {delays:?}"
+            );
+        }
+        assert!(delays[5] <= cfg().backoff_max * 1.5, "cap: {delays:?}");
+        assert!(delays[0] >= cfg().backoff_base * 0.5 && delays[0] <= cfg().backoff_base * 1.5);
+    }
+
+    #[test]
+    fn max_retries_enter_cooldown_then_unsynced() {
+        let mut c = client(6);
+        let mut now = 16.0;
+        for _ in 0..cfg().max_retries - 1 {
+            let out = c.on_timeout(now);
+            assert_eq!(out, ExchangeOutcome::TimedOut);
+            assert_ne!(c.state(), ClientState::Failed);
+            now = c.next_send() + 1.0;
+        }
+        let entry = now;
+        c.on_timeout(entry);
+        assert_eq!(c.state(), ClientState::Failed);
+        let resume = c.next_send();
+        assert!(resume >= entry + cfg().cooldown * 0.5, "{resume} vs {entry}");
+        c.end_cooldown(resume);
+        assert_eq!(c.state(), ClientState::Unsynced);
+        // the ladder restarts small after cooldown
+        c.on_timeout(resume + 1.0);
+        assert!(c.next_send() - (resume + 1.0) <= cfg().backoff_base * 1.5);
+    }
+
+    #[test]
+    fn degraded_after_consecutive_bad_and_recovers() {
+        let mut c = client(7);
+        // warm the clock to alignment with a long run of good samples
+        let mut t = 16.0;
+        for _ in 0..200 {
+            c.on_response(t, good_raw(t), 1e-9);
+            t += 16.0;
+        }
+        assert_eq!(c.state(), ClientState::Synced);
+        for _ in 0..cfg().degrade_after {
+            c.on_timeout(t);
+            t = c.next_send() + 1.0;
+        }
+        assert_eq!(c.state(), ClientState::Degraded);
+        // a fresh good sample recovers
+        c.on_response(t, good_raw(t), 1e-9);
+        assert_eq!(c.state(), ClientState::Synced);
+        assert_eq!(
+            c.trace().last().unwrap().cause,
+            TransitionCause::Recovered
+        );
+    }
+
+    #[test]
+    fn reads_grade_fresh_degraded_stale() {
+        let mut c = client(8);
+        let mut t = 16.0;
+        for _ in 0..200 {
+            c.on_response(t, good_raw(t), 1e-9);
+            t += 16.0;
+        }
+        let tsc = (t * 1e9) as u64;
+        let fresh = c.read(tsc, t);
+        let ReadVerdict::Fresh { time, bound } = fresh else {
+            panic!("expected fresh read, got {fresh:?}");
+        };
+        assert!((time - t).abs() < 1e-2, "served time near truth: {time} vs {t}");
+        assert!(bound > 0.0 && bound < 1e-3);
+
+        // degrade, then check the bound widens with age
+        for _ in 0..cfg().degrade_after {
+            c.on_timeout(t);
+        }
+        assert_eq!(c.state(), ClientState::Degraded);
+        let age1 = 600.0;
+        let age2 = 3600.0;
+        let b = |age: f64| match c.read(tsc, t + age) {
+            ReadVerdict::Degraded { bound, .. } => bound,
+            v => panic!("expected degraded read, got {v:?}"),
+        };
+        assert!(b(age2) > b(age1), "bound must widen with age");
+        assert!((b(age2) - b(age1) - cfg().widen_rate * (age2 - age1)).abs() < 1e-12);
+
+        // and past the horizon the client refuses
+        let verdict = c.read(tsc, t + cfg().stale_horizon + 1.0);
+        assert!(matches!(verdict, ReadVerdict::Stale { .. }), "{verdict:?}");
+    }
+
+    #[test]
+    fn unavailable_before_alignment() {
+        let c = client(9);
+        assert_eq!(c.read(1_000_000, 1.0), ReadVerdict::Unavailable);
+    }
+
+    #[test]
+    fn time_in_state_accounts_every_second() {
+        let mut c = client(10);
+        let mut t = 16.0;
+        for _ in 0..100 {
+            c.on_response(t, good_raw(t), 1e-9);
+            t += 16.0;
+        }
+        c.finish(t);
+        let total: f64 = c.time_in_state().iter().sum();
+        assert!((total - t).abs() < 1e-9, "accounted {total} of {t}");
+    }
+
+    #[test]
+    fn naive_config_has_fixed_retry_and_no_jitter() {
+        let naive = cfg().naive(4.0);
+        let mut c = LifecycleClient::new(naive, ClockConfig::paper_defaults(16.0), 11, 0.0);
+        let mut now = 16.0;
+        for _ in 0..5 {
+            c.on_timeout(now);
+            assert!((c.next_send() - now - 4.0).abs() < 1e-12, "fixed 4 s retry");
+            now = c.next_send() + naive.timeout;
+        }
+    }
+
+    #[test]
+    fn profile_aware_threshold_scales_with_rtt() {
+        let dc = LifecycleConfig::for_profile(PathProfile::Datacenter, 16.0);
+        let sat = LifecycleConfig::for_profile(PathProfile::Satellite, 16.0);
+        assert!(dc.delay_threshold < 5e-3);
+        assert!(
+            sat.delay_threshold > 3.0 * 0.5,
+            "satellite threshold must clear the propagation floor"
+        );
+    }
+}

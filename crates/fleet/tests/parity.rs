@@ -8,7 +8,8 @@
 
 use proptest::prelude::*;
 use tsc_fleet::{
-    replay_fleet, replay_quorum_fleet, replay_quorum_sequential, replay_sequential, FleetConfig,
+    replay_fleet, replay_population, replay_population_sequential, replay_quorum_fleet,
+    replay_quorum_sequential, replay_sequential, ChurnPlan, FleetConfig, PopulationConfig,
     QuorumFleetConfig, WorkerPool,
 };
 use tsc_netsim::{
@@ -180,6 +181,65 @@ fn quorum_fleet_chunk_size_cannot_change_results() {
         cfg.chunk = chunk;
         let mut pool = WorkerPool::new(3);
         assert_eq!(replay_quorum_fleet(&mut pool, &cfg), expected, "chunk {chunk}");
+    }
+}
+
+/// An eventful lifecycle population: heterogeneous profiles, a server
+/// outage mid-replay (backoff + cooldown churn inside every client), and
+/// join/leave churn on top.
+fn eventful_population(clients: usize) -> PopulationConfig {
+    let scenario = Scenario::baseline(0)
+        .with_poll_period(16.0)
+        .with_duration(3.0 * 3600.0)
+        .with_outage(3600.0, 3600.0 + 900.0)
+        .with_shift(LevelShift::forward_only(2.0 * 3600.0, None, 0.9e-3));
+    let mut cfg = PopulationConfig::new(clients, 31, scenario, ClockConfig::paper_defaults(16.0));
+    cfg.churn = ChurnPlan {
+        join_frac: 0.3,
+        join_window: (600.0, 1800.0),
+        leave_frac: 0.2,
+        leave_window: (2.0 * 3600.0, 2.5 * 3600.0),
+    };
+    cfg
+}
+
+#[test]
+fn population_replay_is_bit_exact_at_every_thread_count() {
+    let cfg = eventful_population(16);
+    let expected = replay_population_sequential(&cfg);
+    assert_eq!(expected.clients.len(), 16);
+    // sanity: the scenario bites — outage timeouts happened fleet-wide,
+    // and churn actually moved some member windows
+    let timeouts: u64 = expected.clients.iter().map(|c| c.counters.3).sum();
+    assert!(timeouts > 16, "outage inert: {timeouts} timeouts");
+    assert!(expected.clients.iter().any(|c| c.joined_at > 0.0));
+    assert!(expected.clients.iter().any(|c| c.left_at < cfg.scenario.duration));
+    for threads in parity_thread_counts() {
+        let mut pool = WorkerPool::new(threads);
+        let got = replay_population(&mut pool, &cfg);
+        assert_eq!(got.clients.len(), expected.clients.len(), "threads {threads}");
+        for (g, e) in got.clients.iter().zip(&expected.clients) {
+            assert_eq!(
+                g.digest, e.digest,
+                "client {} diverged at {} threads",
+                e.client, threads
+            );
+            assert_eq!(g, e, "summary mismatch at {threads} threads");
+        }
+        assert_eq!(got.digest(), expected.digest(), "threads {threads}");
+    }
+}
+
+#[test]
+fn population_chunk_size_cannot_change_results() {
+    let cfg0 = eventful_population(8);
+    let expected = replay_population_sequential(&cfg0);
+    for chunk in [1, 2, 3, 7, 8, 1000] {
+        let mut cfg = cfg0.clone();
+        cfg.chunk = chunk;
+        let mut pool = WorkerPool::new(3);
+        let got = replay_population(&mut pool, &cfg);
+        assert_eq!(got, expected, "chunk {chunk}");
     }
 }
 

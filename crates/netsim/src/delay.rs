@@ -82,6 +82,8 @@ impl CongestionParams {
 pub struct PathDelay {
     base_min: f64,
     shift: f64,
+    /// Deficit of the last `set_shift` (0 when it applied unclamped).
+    shift_clamped_by: f64,
     congestion: CongestionParams,
     bg: Exp<f64>,
     burst: Pareto<f64>,
@@ -109,6 +111,7 @@ impl PathDelay {
         Self {
             base_min: min_delay,
             shift: 0.0,
+            shift_clamped_by: 0.0,
             congestion,
             bg: Exp::new(1.0 / bg_mean).expect("valid rate"),
             burst: Pareto::new(congestion.scale, congestion.shape).expect("valid pareto"),
@@ -167,9 +170,21 @@ impl PathDelay {
     }
 
     /// Applies a level shift of `delta` seconds (may be negative; the
-    /// effective minimum is floored at zero).
+    /// effective minimum is floored at zero). A floored shift is recorded
+    /// as *clamped* — [`PathDelay::shift_clamped_by`] reports the deficit
+    /// so schedule validators ([`crate::Scenario::clamp_warnings`]) can
+    /// flag half-applied faults instead of shipping them silently.
     pub fn set_shift(&mut self, delta: f64) {
         self.shift = delta.max(-self.base_min);
+        self.shift_clamped_by = self.shift - delta;
+    }
+
+    /// How much of the last requested shift the zero floor swallowed
+    /// (≥ 0; `0` when the shift applied in full). An asymmetric fault
+    /// whose negative leg is clamped leaks exactly this amount into the
+    /// RTT — the regression tests pin that value.
+    pub fn shift_clamped_by(&self) -> f64 {
+        self.shift_clamped_by
     }
 
     /// Evolves the two-state congestion chain from `last_t` to `t`.

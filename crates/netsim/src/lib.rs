@@ -29,6 +29,7 @@
 pub mod delay;
 pub mod host;
 pub mod multi;
+pub mod profile;
 pub mod scenario;
 pub mod server;
 pub mod shifts;
@@ -37,7 +38,10 @@ pub mod sim;
 pub use delay::{CongestionParams, PathDelay};
 pub use host::HostTimestamping;
 pub use multi::{MultiServerScenario, MultiServerStream, RoundSample, ServerPath, MAX_SERVERS};
+pub use profile::{PathParams, PathProfile, ProfileMix, ALL_PROFILES};
 pub use scenario::{Scenario, ServerKind};
 pub use server::{ServerFault, ServerModel};
 pub use shifts::{LevelShift, ShiftSchedule};
-pub use sim::{ExchangeSimulator, ExchangeStream, RawExchanges, SimExchange, Truth};
+pub use sim::{
+    ExchangeSimulator, ExchangeStream, OnDemandSim, RawExchanges, SimExchange, Truth,
+};

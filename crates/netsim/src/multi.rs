@@ -253,6 +253,38 @@ impl MultiServerScenario {
     pub fn rounds(&self) -> usize {
         (self.duration / self.poll_period) as usize
     }
+
+    /// Flags level shifts that the per-path [`crate::PathDelay`] floor
+    /// would clamp — the multi-server twin of
+    /// [`crate::Scenario::clamp_warnings`]. On short paths an
+    /// [`LevelShift::asymmetric`] step's negative leg can exceed the
+    /// backward minimum; the floor snaps the leg to zero and the
+    /// "RTT-silent" fault leaks into the RTT, injecting a *different*
+    /// fault than the preset claims. Presets must assert this is empty.
+    pub fn clamp_warnings(&self) -> Vec<String> {
+        let mut warnings = Vec::new();
+        for (k, path) in self.servers.iter().enumerate() {
+            let (fwd_min, back_min) = path.kind.min_delays();
+            for (idx, s) in path.shifts.events().iter().enumerate() {
+                let (df, db) = path.shifts.deltas_at(s.at);
+                if fwd_min + df < 0.0 {
+                    warnings.push(format!(
+                        "server {k} shift {idx} at t={}: forward min {fwd_min}s \
+                         + delta {df}s < 0 — clamped, shift half-applied",
+                        s.at
+                    ));
+                }
+                if back_min + db < 0.0 {
+                    warnings.push(format!(
+                        "server {k} shift {idx} at t={}: backward min {back_min}s \
+                         + delta {db}s < 0 — clamped, shift half-applied",
+                        s.at
+                    ));
+                }
+            }
+        }
+        warnings
+    }
 }
 
 /// What one round produced for one server.

@@ -121,6 +121,11 @@ pub struct Scenario {
     pub environment: Environment,
     /// Which Table 2 server to talk to.
     pub server: ServerKind,
+    /// Explicit path parameterisation overriding the server's Table-2
+    /// derived one — how heterogeneous access profiles
+    /// ([`crate::PathProfile`]) reshape the path while keeping the same
+    /// server model. `None` = derive from `server` as always.
+    pub path: Option<crate::profile::PathParams>,
     /// Master seed; every stochastic element derives its stream from it.
     pub seed: u64,
     /// NTP polling period in seconds (paper uses 16 for analysis, 64/256 as
@@ -147,6 +152,7 @@ impl Scenario {
         Self {
             environment: Environment::MachineRoom,
             server: ServerKind::Int,
+            path: None,
             seed,
             poll_period: 16.0,
             duration: 86_400.0,
@@ -198,6 +204,69 @@ impl Scenario {
     pub fn with_server_fault(mut self, fault: ServerFault) -> Self {
         self.server_faults.push(fault);
         self
+    }
+
+    /// Applies an access-path profile (chainable): overrides the path
+    /// parameterisation and loss rate, and appends the profile's
+    /// generated shift schedule (mobile handovers) derived from the
+    /// scenario's current seed. See [`crate::PathProfile::apply`].
+    pub fn with_profile(self, profile: crate::profile::PathProfile) -> Self {
+        let seed = self.seed;
+        profile.apply(&self, seed)
+    }
+
+    /// The effective path parameterisation: the explicit override when
+    /// present, otherwise the server's Table-2 derived parameters.
+    pub fn effective_path(&self) -> crate::profile::PathParams {
+        self.path.unwrap_or_else(|| {
+            let (fwd_min, back_min) = self.server.min_delays();
+            let (fwd_queue_mean, back_queue_mean) = self.server.queue_means();
+            let (fwd_congestion, back_congestion) = self.server.congestion();
+            crate::profile::PathParams {
+                fwd_min,
+                back_min,
+                fwd_queue_mean,
+                back_queue_mean,
+                fwd_congestion,
+                back_congestion,
+            }
+        })
+    }
+
+    /// Checks every level shift in the schedule against the path minima
+    /// and reports the ones that would be clamped by the [`PathDelay`]
+    /// floor (effective minimum < 0 snaps to 0) — a *half-applied* fault:
+    /// an [`LevelShift::asymmetric`] step relies on both legs moving by
+    /// ±delta/2, and a clamped leg leaks the step into the RTT, silently
+    /// changing what the fault injects. Presets and fleet configs should
+    /// assert this is empty; the regression tests pin both the clamped
+    /// sample floor and this warning path.
+    ///
+    /// [`PathDelay`]: crate::PathDelay
+    /// [`LevelShift::asymmetric`]: crate::LevelShift::asymmetric
+    pub fn clamp_warnings(&self) -> Vec<String> {
+        let path = self.effective_path();
+        let mut warnings = Vec::new();
+        for (idx, s) in self.shifts.events().iter().enumerate() {
+            // cumulative deltas at the event's onset (all overlapping
+            // shifts included — clamping applies to the *total* shift)
+            let (df, db) = self.shifts.deltas_at(s.at);
+            if path.fwd_min + df < 0.0 {
+                warnings.push(format!(
+                    "shift {idx} at t={}: forward min {}s + delta {df}s < 0 — \
+                     clamped to 0, shift half-applied",
+                    s.at, path.fwd_min
+                ));
+            }
+            if path.back_min + db < 0.0 {
+                warnings.push(format!(
+                    "shift {idx} at t={}: backward min {}s + delta {db}s < 0 — \
+                     clamped to 0, shift half-applied",
+                    s.at, path.back_min
+                ));
+            }
+        }
+        warnings
     }
 
     /// Builds the exchange simulator.

@@ -137,16 +137,24 @@ impl SimCore {
     fn new_seeded(sc: &Scenario, seed: u64) -> Self {
         assert!(sc.poll_period > 0.0, "poll period must be positive");
         assert!(sc.duration > 0.0, "duration must be positive");
-        let (fwd_min, back_min) = sc.server.min_delays();
-        let (qf, qb) = sc.server.queue_means();
-        let (cf, cb) = sc.server.congestion();
+        let path = sc.effective_path();
         let osc = sc.environment.build(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
         let mut server = ServerModel::new(seed.wrapping_add(2));
         for f in &sc.server_faults {
             server.add_fault(*f);
         }
-        let mut fwd = PathDelay::new(fwd_min, qf, cf, seed.wrapping_add(4));
-        let mut back = PathDelay::new(back_min, qb, cb, seed.wrapping_add(5));
+        let mut fwd = PathDelay::new(
+            path.fwd_min,
+            path.fwd_queue_mean,
+            path.fwd_congestion,
+            seed.wrapping_add(4),
+        );
+        let mut back = PathDelay::new(
+            path.back_min,
+            path.back_queue_mean,
+            path.back_congestion,
+            seed.wrapping_add(5),
+        );
         fwd.set_cadence(sc.poll_period);
         back.set_cadence(sc.poll_period);
         Self {
@@ -367,6 +375,81 @@ impl SimCore {
             te,
             tf_tsc,
         }))
+    }
+
+    /// One poll at a *caller-chosen* send time `t` — the client-driven
+    /// front-end behind [`OnDemandSim`]. Uses the exact-time samplers
+    /// ([`PathDelay::sample`]) because on-demand schedules are irregular
+    /// (backoff, jitter), so the precomputed-cadence fast path does not
+    /// apply. Returns the full record; `t` must be ≥ the previous
+    /// exchange's true arrival time (enforced by the wrapper).
+    fn poll_at(
+        &mut self,
+        t: f64,
+        shifts: &ShiftSchedule,
+        outages: &[(f64, f64)],
+    ) -> SimExchange {
+        let i = self.i;
+        self.i += 1;
+        if t >= self.seg_until {
+            self.refresh_segment(shifts, outages, t);
+        }
+        let ta_tsc = self.counter.read(t);
+        let ta = t + self.host.send_latency();
+        let d_fwd = self.fwd.sample(ta);
+        let tb = ta + d_fwd;
+        let d_srv = self.server.residence(tb);
+        let te = tb + d_srv;
+        let d_back = self.back.sample(te);
+        let tf = te + d_back;
+        let lost = self.seg_outage || self.loss_rng.random::<f64>() < self.loss_prob;
+        if lost {
+            return SimExchange {
+                i,
+                poll_time: t,
+                lost: true,
+                ta_tsc,
+                tf_tsc: 0,
+                tb: f64::NAN,
+                te: f64::NAN,
+                tg: f64::NAN,
+                truth: Truth {
+                    ta,
+                    tb,
+                    te,
+                    tf,
+                    d_fwd,
+                    d_srv,
+                    d_back,
+                    host_err_at_tf: f64::NAN,
+                },
+            };
+        }
+        let (tb_stamp, te_stamp, tf_tsc) = self.deliver_observables(tb, te, tf);
+        let host_err = self.counter.time_error();
+        let tg = self
+            .dag
+            .timestamp_corrected(tf - tsc_refmon::FIRST_BIT_CORRECTION);
+        SimExchange {
+            i,
+            poll_time: t,
+            lost: false,
+            ta_tsc,
+            tf_tsc,
+            tb: tb_stamp,
+            te: te_stamp,
+            tg,
+            truth: Truth {
+                ta,
+                tb,
+                te,
+                tf,
+                d_fwd,
+                d_srv,
+                d_back,
+                host_err_at_tf: host_err,
+            },
+        }
     }
 
     /// Runs up to `max` polls, appending the records to `out`; returns how
@@ -666,6 +749,84 @@ impl Iterator for RawExchanges<'_> {
     }
 }
 
+/// A client-driven simulator: the caller picks every send time, as a real
+/// client with its own sync cadence, retry backoff and failure cooldown
+/// does — the measurement substrate of the fleet lifecycle layer.
+///
+/// Unlike [`ExchangeSimulator`] there is no fixed poll grid and no
+/// duration cutoff (the caller owns the horizon). The stochastic state is
+/// the same [`SimCore`], so loss, outages, level shifts, server faults
+/// and the oscillator all behave identically; the path queueing uses the
+/// exact-time samplers since the schedule is irregular.
+///
+/// # Determinism
+///
+/// Every draw is consumed in call order, so the exchange stream is a pure
+/// function of `(scenario, seed, sequence of requested send times)`. A
+/// deterministic client schedule therefore yields a bit-reproducible
+/// trace — the property the fleet population parity tests pin.
+///
+/// Send times must be non-decreasing and past the previous exchange's
+/// true arrival; [`OnDemandSim::exchange_at`] clamps to
+/// [`OnDemandSim::earliest_next`] (a client cannot transmit a new request
+/// while the previous response is still in flight — and the underlying
+/// counter and path states are monotone in time).
+pub struct OnDemandSim {
+    core: SimCore,
+    shifts: ShiftSchedule,
+    outages: Vec<(f64, f64)>,
+    duration: f64,
+    /// Earliest admissible next send time (previous true arrival).
+    t_floor: f64,
+}
+
+impl OnDemandSim {
+    /// Builds the simulator from a scenario (its `poll_period` is unused;
+    /// the caller schedules).
+    pub fn new(sc: &Scenario) -> Self {
+        Self::with_seed(sc, sc.seed)
+    }
+
+    /// Like [`OnDemandSim::new`] with the master seed overridden.
+    pub fn with_seed(sc: &Scenario, seed: u64) -> Self {
+        Self {
+            core: SimCore::new_seeded(sc, seed),
+            shifts: sc.shifts.clone(),
+            outages: sc.outages.clone(),
+            duration: sc.duration,
+            t_floor: 0.0,
+        }
+    }
+
+    /// One exchange with the request sent at true time `t` (clamped to
+    /// [`OnDemandSim::earliest_next`]). A `lost` record means the client
+    /// will learn nothing until its own timeout fires.
+    pub fn exchange_at(&mut self, t: f64) -> SimExchange {
+        let t = t.max(self.t_floor);
+        let e = self.core.poll_at(t, &self.shifts, &self.outages);
+        // Even a lost packet's delay draws happened (the frame travelled
+        // until it was dropped); the path/counter clocks sit at tf.
+        self.t_floor = e.truth.tf + 1e-9;
+        e
+    }
+
+    /// Earliest send time the next exchange may use.
+    pub fn earliest_next(&self) -> f64 {
+        self.t_floor
+    }
+
+    /// The scenario duration this simulator was built from (a convenience
+    /// horizon for replay drivers; nothing enforces it).
+    pub fn duration(&self) -> f64 {
+        self.duration
+    }
+
+    /// Nominal TSC frequency of the simulated host.
+    pub fn tsc_freq_hz(&self) -> f64 {
+        self.core.counter.freq_hz()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use crate::scenario::{Scenario, ServerKind};
@@ -929,6 +1090,137 @@ mod tests {
         let a = short_scenario(10).run();
         let b = short_scenario(11).run();
         assert!(a.iter().zip(&b).any(|(x, y)| x != y));
+    }
+
+    #[test]
+    fn on_demand_is_deterministic_and_causal() {
+        let sc = short_scenario(30);
+        let schedule: Vec<f64> = (1..200).map(|i| i as f64 * 16.0).collect();
+        let run = |sc: &Scenario| {
+            let mut sim = crate::sim::OnDemandSim::new(sc);
+            schedule.iter().map(|&t| sim.exchange_at(t)).collect::<Vec<_>>()
+        };
+        let a = run(&sc);
+        let b = run(&sc);
+        assert_eq!(a, b, "same schedule, same seed ⇒ bit-identical trace");
+        for e in a.iter().filter(|e| !e.lost) {
+            let t = &e.truth;
+            assert!(t.ta < t.tb && t.tb < t.te && t.te < t.tf);
+            assert!(e.tf_tsc > e.ta_tsc);
+        }
+        // irregular schedules work too, and respect the in-flight floor
+        let mut sim = crate::sim::OnDemandSim::new(&sc);
+        let first = sim.exchange_at(16.0);
+        let second = sim.exchange_at(0.0); // before the response: clamped
+        assert!(second.poll_time >= first.truth.tf, "in-flight clamp");
+    }
+
+    #[test]
+    fn on_demand_respects_outages_and_shifts() {
+        let sc = short_scenario(31)
+            .with_outage(1000.0, 2000.0)
+            .with_shift(LevelShift::forward_only(3000.0, None, 0.9e-3));
+        let mut sim = crate::sim::OnDemandSim::new(&sc);
+        let inside = sim.exchange_at(1500.0);
+        assert!(inside.lost, "requests inside the outage are lost");
+        let before_min = sc.effective_path().fwd_min;
+        let after = sim.exchange_at(3500.0);
+        assert!(
+            after.truth.d_fwd >= before_min + 0.9e-3,
+            "shift applies to on-demand paths"
+        );
+    }
+
+    #[test]
+    fn on_demand_profile_changes_path() {
+        let sc = short_scenario(32).with_profile(crate::PathProfile::Satellite);
+        let mut sim = crate::sim::OnDemandSim::new(&sc);
+        let e = sim.exchange_at(100.0);
+        assert!(!e.lost || e.truth.rtt() > 0.5);
+        assert!(e.truth.rtt() > 0.5, "satellite floor must dominate");
+    }
+
+    /// Regression (PR 4 note): an asymmetric step whose negative leg
+    /// exceeds the backward minimum is *half-applied* — the PathDelay
+    /// floor clamps the backward leg at zero and the "RTT-silent" fault
+    /// leaks into the RTT. Pin the clamped floor value and the leak so a
+    /// future preset cannot ship this silently.
+    #[test]
+    fn asymmetric_clamp_on_short_path_leaks_into_rtt_and_is_pinned() {
+        // ServerLoc's backward minimum ≈ (0.38 ms − 12 µs − 50 µs)/2 =
+        // 159 µs; delta/2 = 1 ms swamps it.
+        let delta = 2e-3;
+        let (_, back_min) = ServerKind::Loc.min_delays();
+        assert!(back_min < delta / 2.0, "premise: the short path clamps");
+        let sc = Scenario {
+            loss_prob: 0.0,
+            ..short_scenario(33)
+        }
+        .with_server(ServerKind::Loc)
+        .with_shift(LevelShift::asymmetric(7200.0, None, delta));
+
+        // the warning path fires, naming the clamped leg
+        let warnings = sc.clamp_warnings();
+        assert_eq!(warnings.len(), 1, "exactly the backward leg: {warnings:?}");
+        assert!(warnings[0].contains("backward"), "{}", warnings[0]);
+
+        // pin the clamped value: the backward minimum floors at exactly 0
+        let mut back = crate::PathDelay::new(
+            back_min,
+            1e-6,
+            crate::CongestionParams::light(),
+            1,
+        );
+        back.set_shift(-delta / 2.0);
+        assert_eq!(back.current_min(), 0.0, "floor pins at zero");
+        assert!(
+            (back.shift_clamped_by() - (delta / 2.0 - back_min)).abs() < 1e-15,
+            "clamp deficit is the RTT leak: {}",
+            back.shift_clamped_by()
+        );
+
+        // and the leak is visible in the simulated RTT: the minimum RTT
+        // rises by delta/2 − back_min (fwd +1 ms, back −159 µs only)
+        let ex = sc.run();
+        let p = 1e-9;
+        let min_rtt = |lo: f64, hi: f64| {
+            ex.iter()
+                .filter(|e| !e.lost && e.poll_time >= lo && e.poll_time < hi)
+                .map(|e| (e.tf_tsc - e.ta_tsc) as f64 * p)
+                .fold(f64::INFINITY, f64::min)
+        };
+        let leak = delta / 2.0 - back_min;
+        let (before, after) = (min_rtt(0.0, 7200.0), min_rtt(7200.0, 14_400.0));
+        assert!(
+            (after - before - leak).abs() < 60e-6,
+            "half-applied fault must leak {leak} into the RTT: before \
+             {before}, after {after}"
+        );
+
+        // a path long enough for the negative leg stays warning-free and
+        // RTT-silent — the clean preset contract
+        let clean = Scenario {
+            loss_prob: 0.0,
+            ..short_scenario(34)
+        }
+        .with_server(ServerKind::Ext)
+        .with_shift(LevelShift::asymmetric(7200.0, None, delta));
+        assert!(clean.clamp_warnings().is_empty());
+    }
+
+    #[test]
+    fn multi_server_clamp_warnings_flag_short_path_presets() {
+        let delta = 2e-3;
+        let mut sc = crate::MultiServerScenario::baseline(2, 40);
+        sc.servers[1] = crate::ServerPath::new(ServerKind::Loc)
+            .with_shift(LevelShift::asymmetric(7200.0, None, delta));
+        let warnings = sc.clamp_warnings();
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("server 1"), "{}", warnings[0]);
+        // the paper testbed presets are clean
+        assert!(crate::MultiServerScenario::paper_testbed(1)
+            .clamp_warnings()
+            .is_empty());
     }
 
     #[test]

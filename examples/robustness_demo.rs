@@ -1,13 +1,20 @@
-//! Robustness tour: one trace containing every §6 anomaly — packet loss, a
-//! multi-hour outage, a gross server-clock fault, and both kinds of route
-//! change — with the clock's events and errors reported around each.
+//! Robustness tour, in two acts:
+//!
+//! 1. one trace containing every §6 anomaly — packet loss, a multi-hour
+//!    outage, a gross server-clock fault, and both kinds of route change —
+//!    with the clock's events and errors reported around each;
+//! 2. a thundering-herd scenario: a 64-client lifecycle fleet rides out a
+//!    10-minute server outage twice — naive fixed-interval retry vs
+//!    jittered exponential backoff — and one client's full state-machine
+//!    transition trace is printed.
 //!
 //! ```sh
 //! cargo run --release --example robustness_demo
 //! ```
 
 use tscclock_repro::clock::{ClockConfig, ClockEvent, RawExchange, TscNtpClock};
-use tscclock_repro::netsim::{LevelShift, Scenario, ServerFault};
+use tscclock_repro::fleet::{compare_herd, PopulationConfig, WorkerPool};
+use tscclock_repro::netsim::{LevelShift, PathProfile, ProfileMix, Scenario, ServerFault};
 
 const DAY: f64 = 86_400.0;
 
@@ -92,4 +99,85 @@ fn main() {
     println!("\nEvery anomaly is either absorbed silently (outage, downward");
     println!("shift), bounded by a sanity check (server fault), or detected and");
     println!("re-based (upward shift). No anomaly costs more than ~1 ms, ever.");
+
+    thundering_herd();
+}
+
+/// Act two: the fleet-survival side of robustness. The same 64-client
+/// population replays a mid-run outage under both retry policies; the
+/// post-outage request spike is the herd witness.
+fn thundering_herd() {
+    let outage = (3600.0, 3600.0 + 600.0);
+    let scenario = Scenario::baseline(5)
+        .with_poll_period(16.0)
+        .with_duration(2.0 * 3600.0)
+        .with_outage(outage.0, outage.1);
+    let mut cfg = PopulationConfig::new(64, 5, scenario, ClockConfig::paper_defaults(16.0));
+    cfg.mix = ProfileMix::single(PathProfile::Wifi);
+    cfg.naive_retry = 2.0;
+
+    println!("\n=== thundering herd: 64 Wi-Fi clients, 10 min outage at t = 1 h ===");
+    let mut pool = WorkerPool::new(4);
+    let herd = compare_herd(&mut pool, &cfg, 16.0);
+    println!(
+        "post-outage window {:.0}-{:.0} s, {:.0} s buckets:",
+        herd.window.0, herd.window.1, herd.jittered.bucket_width
+    );
+    println!("  naive fixed 2 s retry     peak {:>3} req/bucket", herd.naive_peak);
+    println!("  jittered expo backoff     peak {:>3} req/bucket", herd.jittered_peak);
+    println!("  spike suppression         {:.1}x", herd.ratio());
+
+    // one client's journey through the state machine, from the jittered arm
+    let c = &herd.jittered.clients[0];
+    println!(
+        "\nclient 0 ({:?}): {} requests, {} accepted, {} rejected, {} timeouts",
+        c.profile, c.counters.0, c.counters.1, c.counters.2, c.counters.3
+    );
+    let again = tscclock_repro::fleet::replay_population_client(&cfg, 0);
+    assert_eq!(again.digest, c.digest, "per-client determinism");
+    println!("state-machine transition trace:");
+    print_trace(&cfg);
+}
+
+/// Replays client 0 inline and prints its transition trace.
+fn print_trace(cfg: &PopulationConfig) {
+    use tscclock_repro::fleet::{LifecycleClient, LifecycleConfig};
+    use tscclock_repro::netsim::OnDemandSim;
+
+    let seed = cfg.base_seed;
+    let profile = cfg.mix.assign(cfg.base_seed, 0);
+    let scenario = profile.apply(&cfg.scenario, seed);
+    let lc = LifecycleConfig::for_profile(profile, scenario.poll_period);
+    let mut client = LifecycleClient::new(lc, cfg.clock, seed, 0.0);
+    let mut sim = OnDemandSim::new(&scenario);
+    let nominal_period = 1.0 / sim.tsc_freq_hz();
+    loop {
+        let t = client.next_send().max(sim.earliest_next());
+        if t >= scenario.duration {
+            break;
+        }
+        client.end_cooldown(t);
+        client.note_request();
+        let e = sim.exchange_at(t);
+        if e.lost || e.truth.tf - t > lc.timeout {
+            client.on_timeout(t + lc.timeout);
+        } else {
+            let raw = RawExchange {
+                ta_tsc: e.ta_tsc,
+                tb: e.tb,
+                te: e.te,
+                tf_tsc: e.tf_tsc,
+            };
+            client.on_response(e.truth.tf, raw, nominal_period);
+        }
+    }
+    for tr in client.trace() {
+        println!(
+            "  t = {:7.1} s  {:>8} -> {:<8}  ({:?})",
+            tr.t,
+            tr.from.name(),
+            tr.to.name(),
+            tr.cause
+        );
+    }
 }
