@@ -1,0 +1,75 @@
+//! Noise-resistant A/B comparison for the SoA megabatch ingest loop.
+//!
+//! The development host's clock frequency drifts in multi-minute windows,
+//! so absolute packets/s numbers from separate runs are not comparable.
+//! This binary interleaves the scalar per-lane `process_batch` path and
+//! the fleet `Megabatch` driver over the `fleet_ingest` bench workload in
+//! one process, printing the per-round pair and the ratio — the ratio is
+//! stable under frequency drift because both sides of a round run
+//! back-to-back.
+use std::time::Instant;
+use tsc_fleet::Megabatch;
+use tsc_netsim::Scenario;
+use tscclock::{ClockConfig, ProcessOutput, RawExchange, TscNtpClock};
+
+fn stream(polls: usize, poll: f64) -> Vec<RawExchange> {
+    Scenario::baseline(3)
+        .with_poll_period(poll)
+        .with_duration(poll * polls as f64)
+        .stream()
+        .raw()
+        .collect()
+}
+
+fn main() {
+    let width: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("stripe width"))
+        .unwrap_or(8);
+    let rounds: usize = std::env::args()
+        .nth(2)
+        .map(|a| a.parse().expect("round count"))
+        .unwrap_or(6);
+    let poll = 64.0;
+    let exchanges = stream(300, poll);
+    let cc = ClockConfig::paper_defaults(poll);
+    let reps = 125; // 125 stripes of `width` ≈ the 1000-clock bench
+    let total = (reps * width * exchanges.len()) as f64;
+    let mut sink = 0u64;
+    let mut ratios = Vec::new();
+
+    println!("width {width}, {} packets/lane, {reps} stripes/round:", exchanges.len());
+    for round in 0..=rounds {
+        // Scalar: each lane independently via process_batch.
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            for _ in 0..width {
+                let mut clock = TscNtpClock::new(cc);
+                let mut out: Vec<ProcessOutput> = Vec::with_capacity(exchanges.len());
+                clock.process_batch(&exchanges, &mut out);
+                sink += out.len() as u64;
+            }
+        }
+        let scalar = t0.elapsed();
+
+        // Fleet Megabatch driver.
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let mut clocks: Vec<TscNtpClock> = (0..width).map(|_| TscNtpClock::new(cc)).collect();
+            let lanes: Vec<&[RawExchange]> = vec![&exchanges; width];
+            let mut mb = Megabatch::new();
+            mb.run(&mut clocks, &lanes, |_, _| sink += 1);
+        }
+        let mega = t0.elapsed();
+
+        if round > 0 {
+            // round 0 is warm-up
+            let s = scalar.as_nanos() as f64 / total;
+            let m = mega.as_nanos() as f64 / total;
+            ratios.push(s / m);
+            println!("  scalar {s:6.1} ns/pkt   mega {m:6.1} ns/pkt   speedup {:5.3}x", s / m);
+        }
+    }
+    ratios.sort_by(f64::total_cmp);
+    println!("median speedup: {:.3}x  (sink {sink})", ratios[ratios.len() / 2]);
+}

@@ -209,10 +209,17 @@ pub struct History {
 
 impl History {
     /// Creates a history holding at most `cap` packets (the top window).
+    ///
+    /// The ring starts small and grows geometrically toward `cap` as
+    /// records arrive (amortized O(1)): a week-scale top window is ~1 MB
+    /// of records, and committing that up front would make every clock's
+    /// resident footprint the *configured* window instead of the *used*
+    /// one — the fleet engine keeps a whole stripe of clocks hot at once,
+    /// and short replays never touch more than their packet count.
     pub fn new(cap: usize) -> Self {
         assert!(cap >= 4, "history window too small");
         Self {
-            records: VecDeque::with_capacity(cap.min(1 << 20)),
+            records: VecDeque::with_capacity(cap.min(256)),
             cap,
             rtt_min_c: f64::INFINITY,
             mono: VecDeque::new(),

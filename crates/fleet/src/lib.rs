@@ -53,6 +53,7 @@
 //! machine before citing a scaling factor.
 
 pub mod lifecycle;
+pub mod megabatch;
 pub mod pool;
 pub mod population;
 pub mod quorum;
@@ -62,6 +63,7 @@ pub use lifecycle::{
     ClientState, ExchangeOutcome, LifecycleClient, LifecycleConfig, ReadVerdict, Transition,
     TransitionCause, STATE_COUNT,
 };
+pub use megabatch::{replay_stripe, Megabatch};
 pub use pool::WorkerPool;
 pub use population::{
     compare_herd, replay_population, replay_population_client, replay_population_sequential,

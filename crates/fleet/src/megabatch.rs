@@ -1,0 +1,291 @@
+//! Lane-stepped SoA megabatch ingest: advance a stripe of W clocks in
+//! lockstep, batching their per-packet kernel math across lanes.
+//!
+//! The per-clock pipeline is mostly irreducible scalar control flow, but
+//! each packet funnels through two small rounds of *pure math* — four
+//! divisions plus one weight exponential (round one: rate pair update,
+//! quality reassessment, speculative offset absorb), then two divisions
+//! (round two: weighted offset candidate and error estimate). The scalar
+//! engine exposes exactly those seams as the split phases
+//! [`TscNtpClock::step_prepare`] / [`TscNtpClock::step_mid`] /
+//! [`TscNtpClock::step_finish`], staging the operands into a
+//! [`KernelOps`] record instead of dividing in place.
+//!
+//! This module is the fleet-side driver: it runs phase one for every lane
+//! of a stripe, gathers the staged operands into contiguous
+//! structure-of-arrays columns, computes them with the runtime-dispatched
+//! AVX2 slice kernels ([`tscclock::div_slices`],
+//! [`tscclock::exp_clamped_slice`]), scatters the results back, and runs
+//! the next phase — so the divisions and exponentials of W independent
+//! clocks execute as packed 4-wide vector operations.
+//!
+//! # Bit-identity by construction
+//!
+//! IEEE-754 division is correctly rounded, so a `vdivpd` lane equals the
+//! scalar quotient bit-for-bit; the AVX2 exponential is a per-lane exact
+//! transliteration of the scalar [`tscclock::fastmath`] polynomial. The
+//! scalar engine's `process` *is* the composition of the same three
+//! phases with the same staged operands applied scalar — one code path,
+//! two kernel backends, therefore identical output bits. The parity
+//! suite (`tests/soa_parity.rs`) and the fleet digest tests enforce this
+//! across stripe widths, thread counts and divergence-heavy scenarios.
+//!
+//! # Lane peel and re-entry
+//!
+//! Lockstep only covers the *staged* phases. Lanes whose packet finishes
+//! entirely inside phase one — malformed exchanges and the two-packet
+//! bootstrap holdback — return [`StepPhase::Done`] and simply sit the
+//! round's kernels out (the scalar engine ran them whole); they re-enter
+//! the stripe on their next packet. Divergent *control* inside a staged
+//! lane (upward-shift rebases, drift rebuilds, era slides, warm-up
+//! windows, gap blends) needs no peeling at all: those branches live in
+//! the shared phase code and run scalar per lane, exactly as the scalar
+//! engine runs them; only the staged math is batched. A lane whose
+//! per-packet stream ends early (loss, outage tails) drops out of the
+//! stripe and the survivors keep batching.
+
+use crate::replay::{fold_output, ClockSummary, FNV_OFFSET};
+use tsc_netsim::Scenario;
+use tscclock::{
+    apply_scalar, kernel_round1, ClockConfig, KernelOps, KernelVals, ProcessOutput, RawExchange,
+    StepPhase, StepPrep, TscNtpClock,
+};
+
+/// Round-two slots actually staged by the offset phase (`SLOT_OFF_CAND`,
+/// `SLOT_OFF_ERR`); the gather packs only these per lane.
+/// Reusable scratch for the lane-stepped megabatch loop: the stripe's
+/// staged phase carry and kernel blocks, all in staged order. One
+/// instance per stripe task; every buffer reaches its high-water size
+/// (the stripe width) once and is then reused allocation-free.
+///
+/// The kernel arrays are the stripe's structure-of-arrays hot state: a
+/// [`KernelOps`] block stores its four numerators and denominators
+/// contiguously, so `ops` *is* the packed column layout the AVX2 round
+/// kernels ([`kernel_round1`], [`kernel_round2`]) stream directly — no
+/// gather or scatter step exists.
+#[derive(Default)]
+pub struct Megabatch {
+    /// Lanes that staged kernel work this round, in lane order. The other
+    /// vectors below are parallel to this one.
+    staged: Vec<usize>,
+    /// Phase-one carry per staged lane.
+    preps: Vec<StepPrep>,
+    /// Staged round-one kernel operands per staged lane.
+    ops: Vec<KernelOps>,
+    /// Round-one kernel results per staged lane.
+    vals: Vec<KernelVals>,
+}
+
+impl Megabatch {
+    /// Fresh scratch; buffers grow to stripe width on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances a stripe of clocks through their per-lane exchange slices
+    /// in lockstep, batching the staged kernel math across lanes. Lane
+    /// `l` consumes `lanes[l]` in order; `emit(l, output)` fires for
+    /// every produced estimate, in packet order within each lane. Ragged
+    /// lane lengths are fine — exhausted lanes sit out the remaining
+    /// rounds. Results are bit-identical to running
+    /// [`TscNtpClock::process_batch`] per lane.
+    pub fn run<L, F>(&mut self, clocks: &mut [TscNtpClock], lanes: &[L], mut emit: F)
+    where
+        L: AsRef<[RawExchange]>,
+        F: FnMut(usize, &ProcessOutput),
+    {
+        assert_eq!(
+            clocks.len(),
+            lanes.len(),
+            "one exchange slice per clock lane"
+        );
+        let rounds = lanes.iter().map(|l| l.as_ref().len()).max().unwrap_or(0);
+        for i in 0..rounds {
+            // Phase one: admission + round-one staging; Done lanes peel.
+            self.staged.clear();
+            self.preps.clear();
+            self.ops.clear();
+            for (l, clock) in clocks.iter_mut().enumerate() {
+                let Some(ex) = lanes[l].as_ref().get(i) else {
+                    continue;
+                };
+                self.ops.push(KernelOps::idle());
+                let ops = self.ops.last_mut().expect("just pushed");
+                match clock.step_prepare(*ex, ops) {
+                    StepPhase::Done(o) => {
+                        self.ops.pop();
+                        if let Some(o) = o {
+                            emit(l, &o);
+                        }
+                    }
+                    StepPhase::Staged(p) => {
+                        self.preps.push(p);
+                        self.staged.push(l);
+                    }
+                }
+            }
+            if self.staged.is_empty() {
+                continue;
+            }
+
+            // Kernel round one, struct-direct over the staged blocks: four
+            // divisions per block as one AVX2 vector each, exponentials
+            // four blocks at a time. Dead slots hold 0/1 and idle
+            // exponential arguments 0 — computed unconditionally, never
+            // read by the commit phases.
+            self.vals.resize(self.ops.len(), KernelVals::default());
+            kernel_round1(&self.ops, &mut self.vals);
+
+            // Phases two and three, fused per staged lane. Round two holds
+            // only the two offset divisions — batching them across lanes
+            // saves less than carrying the mid-phase state through a
+            // second synchronization costs, so they run scalar in place
+            // (the same `apply_scalar` the single-clock engine uses,
+            // keeping one code path).
+            for (j, (&l, prep)) in self.staged.iter().zip(self.preps.drain(..)).enumerate() {
+                let mut ops = KernelOps::idle();
+                let mid = clocks[l].step_mid(prep, &self.vals[j], &mut ops);
+                let vals2 = apply_scalar(&ops);
+                let out = clocks[l].step_finish(mid, &vals2.div);
+                emit(l, &out);
+            }
+        }
+    }
+}
+
+/// Replays a contiguous stripe of `count` fleet clocks (fleet indices
+/// `first_clock..first_clock + count`) through the megabatch engine:
+/// per-lane seeded streamed generation feeding the lane-stepped loop.
+/// Summaries are bit-identical to [`crate::replay_clock`] per lane.
+pub fn replay_stripe(
+    first_clock: usize,
+    count: usize,
+    template: &Scenario,
+    base_seed: u64,
+    clock_cfg: &ClockConfig,
+    ingest_batch: usize,
+) -> Vec<ClockSummary> {
+    let batch = ingest_batch.max(1);
+    let mut clocks: Vec<TscNtpClock> =
+        (0..count).map(|_| TscNtpClock::new(*clock_cfg)).collect();
+    let mut streams: Vec<_> = (0..count)
+        .map(|l| {
+            template
+                .stream_with_seed(base_seed.wrapping_add((first_clock + l) as u64))
+                .raw()
+        })
+        .collect();
+    let mut bufs: Vec<Vec<RawExchange>> = (0..count).map(|_| Vec::with_capacity(batch)).collect();
+    let mut finished = vec![false; count];
+    let mut delivered = vec![0u64; count];
+    let mut digests = vec![FNV_OFFSET; count];
+    let mut mb = Megabatch::new();
+    loop {
+        let mut any = false;
+        for l in 0..count {
+            bufs[l].clear();
+            if finished[l] {
+                continue;
+            }
+            streams[l].fill_batch(&mut bufs[l], batch);
+            if bufs[l].is_empty() {
+                finished[l] = true;
+            } else {
+                delivered[l] += bufs[l].len() as u64;
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+        mb.run(&mut clocks, &bufs, |l, o| {
+            digests[l] = fold_output(digests[l], o);
+        });
+    }
+    clocks
+        .iter()
+        .enumerate()
+        .map(|(l, clock)| {
+            let status = clock.status();
+            ClockSummary {
+                clock: first_clock + l,
+                delivered: delivered[l],
+                packets: status.packets,
+                p_hat: status.p_hat,
+                theta_hat: status.theta_hat,
+                digest: digests[l],
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::replay_clock;
+
+    fn scenario() -> Scenario {
+        Scenario::baseline(5)
+            .with_poll_period(64.0)
+            .with_duration(64.0 * 400.0)
+    }
+
+    #[test]
+    fn stripe_matches_per_clock_replay() {
+        let template = scenario();
+        let cfg = ClockConfig::paper_defaults(64.0);
+        for count in [1usize, 3, 8] {
+            let striped = replay_stripe(10, count, &template, 99, &cfg, 64);
+            for (l, s) in striped.iter().enumerate() {
+                let scalar = replay_clock(10 + l, &template, 99u64.wrapping_add((10 + l) as u64), &cfg, 64);
+                assert_eq!(*s, scalar, "stripe width {count} lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn megabatch_run_matches_process_batch_on_shared_stream() {
+        let exchanges: Vec<RawExchange> = scenario().stream().raw().collect();
+        let cfg = ClockConfig::paper_defaults(64.0);
+        let mut expected_clock = TscNtpClock::new(cfg);
+        let mut expected = Vec::new();
+        expected_clock.process_batch(&exchanges, &mut expected);
+
+        let width = 5usize;
+        let mut clocks: Vec<TscNtpClock> = (0..width).map(|_| TscNtpClock::new(cfg)).collect();
+        let lanes: Vec<&[RawExchange]> = vec![&exchanges; width];
+        let mut outs: Vec<Vec<ProcessOutput>> = vec![Vec::new(); width];
+        let mut mb = Megabatch::new();
+        mb.run(&mut clocks, &lanes, |l, o| outs[l].push(*o));
+        for (l, out) in outs.iter().enumerate() {
+            assert_eq!(out.len(), expected.len(), "lane {l}");
+            for (a, b) in out.iter().zip(&expected) {
+                assert_eq!(a, b, "lane {l}");
+            }
+        }
+        for (l, clock) in clocks.iter().enumerate() {
+            assert_eq!(clock.status(), expected_clock.status(), "lane {l}");
+        }
+    }
+
+    #[test]
+    fn ragged_lanes_drop_out_cleanly() {
+        let exchanges: Vec<RawExchange> = scenario().stream().raw().collect();
+        let cfg = ClockConfig::paper_defaults(64.0);
+        // Lane lengths 10, 57, full: each must match a scalar clock fed
+        // the same prefix.
+        let lens = [10usize, 57, exchanges.len()];
+        let mut clocks: Vec<TscNtpClock> = (0..lens.len()).map(|_| TscNtpClock::new(cfg)).collect();
+        let lanes: Vec<&[RawExchange]> = lens.iter().map(|&n| &exchanges[..n]).collect();
+        let mut outs: Vec<Vec<ProcessOutput>> = vec![Vec::new(); lens.len()];
+        let mut mb = Megabatch::new();
+        mb.run(&mut clocks, &lanes, |l, o| outs[l].push(*o));
+        for (l, &n) in lens.iter().enumerate() {
+            let mut scalar = TscNtpClock::new(cfg);
+            let mut expected = Vec::new();
+            scalar.process_batch(&exchanges[..n], &mut expected);
+            assert_eq!(outs[l], expected, "lane {l}");
+            assert_eq!(clocks[l].status(), scalar.status(), "lane {l}");
+        }
+    }
+}

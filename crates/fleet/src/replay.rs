@@ -37,6 +37,11 @@ pub struct FleetConfig {
     /// Clocks claimed from the shared pile per steal; `0` = auto
     /// (`clocks / (8 · threads)`, at least 1).
     pub chunk: usize,
+    /// Lanes per SoA megabatch stripe ([`crate::megabatch`]): the fleet is
+    /// cut into stripes of this many clocks and each stripe advances in
+    /// lockstep through the batched kernels. `0` or `1` selects the scalar
+    /// per-clock path. Results are bit-identical for every value.
+    pub stripe: usize,
 }
 
 impl FleetConfig {
@@ -49,6 +54,7 @@ impl FleetConfig {
             clock,
             ingest_batch: 256,
             chunk: 0,
+            stripe: 8,
         }
     }
 }
@@ -84,7 +90,7 @@ pub(crate) fn fnv(mut h: u64, word: u64) -> u64 {
 }
 
 /// Folds one per-packet output into a digest.
-fn fold_output(mut h: u64, o: &ProcessOutput) -> u64 {
+pub(crate) fn fold_output(mut h: u64, o: &ProcessOutput) -> u64 {
     h = fnv(h, o.idx);
     h = fnv(h, o.rtt.to_bits());
     h = fnv(h, o.point_error.to_bits());
@@ -140,10 +146,36 @@ pub fn replay_clock(
     }
 }
 
-/// Replays the whole fleet across `pool`, one clock per work item.
-/// Summaries are returned in clock order and are independent of the pool's
-/// thread count and of `chunk`.
+/// Replays the whole fleet across `pool`. With `stripe > 1` the work item
+/// is one SoA megabatch stripe of `stripe` clocks advanced in lockstep
+/// ([`crate::megabatch::replay_stripe`]); otherwise one scalar clock.
+/// Summaries are returned in clock order and are bit-identical for every
+/// thread count, `chunk` and `stripe`.
 pub fn replay_fleet(pool: &mut WorkerPool, cfg: &FleetConfig) -> Vec<ClockSummary> {
+    if cfg.stripe > 1 {
+        let stripe = cfg.stripe;
+        let stripes = cfg.clocks.div_ceil(stripe);
+        // `chunk` is documented in clocks; convert to stripes.
+        let chunk = if cfg.chunk == 0 {
+            (stripes / (8 * pool.threads())).max(1)
+        } else {
+            cfg.chunk.div_ceil(stripe).max(1)
+        };
+        let shared = Arc::new(cfg.clone());
+        let per_stripe = pool.run(stripes, chunk, move |s| {
+            let first = s * shared.stripe;
+            let count = shared.stripe.min(shared.clocks - first);
+            crate::megabatch::replay_stripe(
+                first,
+                count,
+                &shared.scenario,
+                shared.base_seed,
+                &shared.clock,
+                shared.ingest_batch,
+            )
+        });
+        return per_stripe.into_iter().flatten().collect();
+    }
     let chunk = if cfg.chunk == 0 {
         (cfg.clocks / (8 * pool.threads())).max(1)
     } else {

@@ -1,0 +1,179 @@
+//! SoA megabatch parity: the lane-stepped stripe engine must equal the
+//! scalar per-clock engine bit for bit — for every stripe width, thread
+//! count, chunking, ingest batch size, and under divergence-heavy traffic
+//! (shift storms, outages, high loss) that peels lanes constantly.
+//!
+//! The reference is always [`replay_sequential`], which replays one clock
+//! at a time through the scalar [`TscNtpClock::process_batch`] path and
+//! never touches the stripe code. The digest in `ClockSummary` folds the
+//! bit pattern of every per-packet output, so digest equality means the
+//! megabatch engine reproduced each clock's entire output stream exactly.
+
+use proptest::prelude::*;
+use tsc_fleet::{replay_fleet, replay_sequential, FleetConfig, WorkerPool};
+use tsc_netsim::{LevelShift, Scenario, ServerKind};
+use tscclock::ClockConfig;
+
+/// Thread counts to exercise: env `FLEET_PARITY_THREADS` (e.g. "1,4"), or
+/// {1, 2, 4, 8} by default, matching `tests/parity.rs`.
+fn parity_thread_counts() -> Vec<usize> {
+    match std::env::var("FLEET_PARITY_THREADS") {
+        Ok(s) => s
+            .split(',')
+            .map(|t| t.trim().parse().expect("FLEET_PARITY_THREADS: bad count"))
+            .collect(),
+        Err(_) => vec![1, 2, 4, 8],
+    }
+}
+
+fn baseline_fleet(clocks: usize) -> FleetConfig {
+    let scenario = Scenario::baseline(11)
+        .with_poll_period(64.0)
+        .with_duration(64.0 * 500.0);
+    FleetConfig::new(clocks, 42, scenario, ClockConfig::paper_defaults(64.0))
+}
+
+/// A scenario engineered to peel lanes and diverge control flow as often
+/// as possible: a storm of level shifts (each one triggers detection
+/// windows and upward-shift rebases at a different packet index per
+/// seeded lane), two outages (lanes drop out of lockstep and re-enter),
+/// and 30% loss (constant ragged admission).
+fn divergent_fleet(clocks: usize) -> FleetConfig {
+    let p = 64.0;
+    let mut scenario = Scenario::baseline(7)
+        .with_poll_period(p)
+        .with_duration(p * 600.0)
+        .with_server(ServerKind::Int)
+        .with_outage(p * 120.0, p * 150.0)
+        .with_outage(p * 400.0, p * 420.0)
+        .with_shift(LevelShift::forward_only(p * 180.0, None, 0.9e-3))
+        .with_shift(LevelShift::forward_only(p * 250.0, Some(p * 280.0), 1.4e-3))
+        .with_shift(LevelShift::asymmetric(p * 320.0, None, 2e-3))
+        .with_shift(LevelShift::forward_only(p * 480.0, None, 0.7e-3));
+    scenario.loss_prob = 0.30;
+    let mut cfg = FleetConfig::new(clocks, 13, scenario, ClockConfig::paper_defaults(p));
+    cfg.ingest_batch = 61; // not a divisor of anything relevant
+    cfg
+}
+
+#[test]
+fn stripe_width_cannot_change_results() {
+    let cfg0 = baseline_fleet(17); // deliberately not a stripe multiple
+    let expected = replay_sequential(&cfg0);
+    for s in &expected {
+        assert!(s.delivered > 400, "clock {}: {}", s.clock, s.delivered);
+        assert!(s.p_hat.is_some() && s.theta_hat.is_some());
+    }
+    // stripe 0 and 1 select the scalar per-clock path; the rest are SoA
+    // widths, including ones wider than the fleet and non-powers of two.
+    for stripe in [0usize, 1, 2, 3, 4, 5, 7, 8, 16, 32] {
+        let mut cfg = cfg0.clone();
+        cfg.stripe = stripe;
+        let mut pool = WorkerPool::new(3);
+        let got = replay_fleet(&mut pool, &cfg);
+        assert_eq!(got.len(), expected.len(), "stripe {stripe}");
+        for (g, e) in got.iter().zip(&expected) {
+            assert_eq!(
+                g.digest, e.digest,
+                "clock {} diverged at stripe {stripe}",
+                e.clock
+            );
+            assert_eq!(g, e, "summary mismatch at stripe {stripe}");
+        }
+    }
+}
+
+#[test]
+fn soa_replay_is_bit_exact_at_every_thread_count() {
+    let cfg = divergent_fleet(21);
+    let expected = replay_sequential(&cfg);
+    // sanity: the faults actually bit — loss kept delivery well under the
+    // duration's packet count, and estimates still formed everywhere
+    for s in &expected {
+        assert!(s.delivered > 300, "clock {}: {}", s.clock, s.delivered);
+        assert!(s.p_hat.is_some(), "clock {}", s.clock);
+    }
+    assert_eq!(cfg.stripe, 8, "default config must exercise the SoA path");
+    for threads in parity_thread_counts() {
+        let mut pool = WorkerPool::new(threads);
+        let got = replay_fleet(&mut pool, &cfg);
+        assert_eq!(got.len(), expected.len(), "threads {threads}");
+        for (g, e) in got.iter().zip(&expected) {
+            assert_eq!(
+                g.digest, e.digest,
+                "clock {} diverged at {} threads",
+                e.clock, threads
+            );
+            assert_eq!(g, e, "summary mismatch at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn divergence_heavy_stripes_stay_bit_exact_across_widths() {
+    let cfg0 = divergent_fleet(11);
+    let expected = replay_sequential(&cfg0);
+    for stripe in [1usize, 4, 6, 8, 16] {
+        let mut cfg = cfg0.clone();
+        cfg.stripe = stripe;
+        let mut pool = WorkerPool::new(2);
+        assert_eq!(replay_fleet(&mut pool, &cfg), expected, "stripe {stripe}");
+    }
+}
+
+#[test]
+fn ingest_batch_size_cannot_change_stripe_results() {
+    let cfg0 = baseline_fleet(9);
+    let expected = replay_sequential(&cfg0);
+    for batch in [1usize, 2, 17, 64, 100_000] {
+        let mut cfg = cfg0.clone();
+        cfg.ingest_batch = batch;
+        let mut pool = WorkerPool::new(2);
+        assert_eq!(replay_fleet(&mut pool, &cfg), expected, "batch {batch}");
+    }
+}
+
+#[test]
+fn chunk_size_is_stripe_granular_and_bit_exact() {
+    let cfg0 = baseline_fleet(26);
+    let expected = replay_sequential(&cfg0);
+    // chunk is documented in clocks and rounded up to whole stripes; any
+    // value must produce identical results.
+    for chunk in [1usize, 3, 8, 9, 26, 1000] {
+        let mut cfg = cfg0.clone();
+        cfg.chunk = chunk;
+        let mut pool = WorkerPool::new(4);
+        assert_eq!(replay_fleet(&mut pool, &cfg), expected, "chunk {chunk}");
+    }
+}
+
+proptest! {
+    /// Stripe geometry — width, fleet size, chunking, ingest batch,
+    /// thread count — must never influence any clock's replay.
+    #[test]
+    fn parity_over_stripe_geometry(
+        clocks in 1usize..11,
+        stripe in 0usize..13,
+        chunk in 1usize..9,
+        ingest_batch in 1usize..80,
+        threads in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let scenario = Scenario::baseline(0)
+            .with_poll_period(1024.0)
+            .with_duration(1024.0 * 120.0);
+        let mut cfg = FleetConfig::new(
+            clocks,
+            seed,
+            scenario,
+            ClockConfig::paper_defaults(1024.0),
+        );
+        cfg.stripe = stripe;
+        cfg.chunk = chunk;
+        cfg.ingest_batch = ingest_batch;
+        let expected = replay_sequential(&cfg);
+        let mut pool = WorkerPool::new(threads);
+        let got = replay_fleet(&mut pool, &cfg);
+        prop_assert_eq!(got, expected);
+    }
+}

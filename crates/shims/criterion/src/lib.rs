@@ -16,13 +16,25 @@
 //! When the `BENCH_JSON` environment variable names a path, every bench
 //! binary writes its measurements there as a JSON array of
 //! `{"bench", "mean_ns", "median_ns", "iters", "elements_per_iter",
-//! "throughput_per_sec"}` records on exit (via the `criterion_main!`
-//! epilogue) — the hook the repo uses to track its performance trajectory
-//! across PRs (e.g. `BENCH_fleet.json`). `median_ns` is the median of the
-//! per-batch sample means: on a single-core host the scheduler can stall
-//! one batch for tens of milliseconds, inflating the mean of a short
-//! benchmark by double-digit percentages while the median stays put —
-//! prefer it when comparing runs. Smoke runs (`--test`) record nothing.
+//! "throughput_per_sec", "threads", "host_cpus", "rustc"}` records on
+//! exit (via the `criterion_main!` epilogue) — the hook the repo uses to
+//! track its performance trajectory across PRs (e.g. `BENCH_fleet.json`).
+//! `median_ns` is the median of the per-batch sample means: on a
+//! single-core host the scheduler can stall one batch for tens of
+//! milliseconds, inflating the mean of a short benchmark by double-digit
+//! percentages while the median stays put — prefer it when comparing
+//! runs. The trailing host columns make rows self-describing: `threads`
+//! is the worker count a `<N>threads` bench-id suffix declares (null
+//! otherwise), `host_cpus` is [`std::thread::available_parallelism`] at
+//! run time, and `rustc` is the compiler that built the binary — a
+//! thread-scaling row measured on a 1-CPU host documents pool overhead,
+//! not parallel speedup, and the row now says so itself. Smoke runs
+//! (`--test`) record nothing.
+//!
+//! `BenchmarkGroup::sample_size(n)` is honored as a real floor of `n`
+//! timed batches (criterion's own contract), not just a hint: noisy
+//! benches that set it keep measuring past the wall-clock budget until
+//! the median has at least that many samples behind it.
 
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -100,7 +112,7 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let cfg = self.clone();
-        run_one(&cfg, id.as_ref(), None, f);
+        run_one(&cfg, id.as_ref(), None, 10, f);
         self
     }
 }
@@ -129,14 +141,14 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let full = format!("{}/{}", self.name, id.as_ref());
-        run_one(self.c, &full, self.throughput, f);
+        run_one(self.c, &full, self.throughput, self.sample_size, f);
         self
     }
 
     pub fn finish(self) {}
 }
 
-fn run_one<F>(c: &Criterion, id: &str, throughput: Option<Throughput>, mut f: F)
+fn run_one<F>(c: &Criterion, id: &str, throughput: Option<Throughput>, min_samples: usize, mut f: F)
 where
     F: FnMut(&mut Bencher),
 {
@@ -148,6 +160,7 @@ where
     let mut b = Bencher {
         test_mode: c.test_mode,
         budget: c.measure_budget,
+        min_samples,
         total: Duration::ZERO,
         iters: 0,
         samples: Vec::new(),
@@ -219,6 +232,14 @@ fn json_num(x: f64) -> String {
     }
 }
 
+/// Worker-thread count declared by a `<N>threads` suffix in the bench id
+/// (the workspace's thread-scaling naming convention), if present.
+fn threads_from_id(id: &str) -> Option<u64> {
+    let tail = id.rsplit('/').next()?;
+    let digits = tail.strip_suffix("threads")?;
+    digits.parse().ok()
+}
+
 /// Writes the collected measurements to `$BENCH_JSON`, if set. Called by
 /// the `criterion_main!` epilogue; a no-op without the variable or without
 /// measurements (smoke mode).
@@ -230,6 +251,8 @@ pub fn write_json_report() {
     if results.is_empty() {
         return;
     }
+    let host_cpus = std::thread::available_parallelism().map_or(0, usize::from);
+    let rustc = env!("SHIM_RUSTC_VERSION");
     let mut out = String::from("[\n");
     for (i, r) in results.iter().enumerate() {
         let per_unit = r.elements_per_iter.or(r.bytes_per_iter);
@@ -240,14 +263,20 @@ pub fn write_json_report() {
             .elements_per_iter
             .map(|n| n.to_string())
             .unwrap_or_else(|| "null".into());
+        let threads = threads_from_id(&r.name)
+            .map(|n| n.to_string())
+            .unwrap_or_else(|| "null".into());
         out.push_str(&format!(
-            "  {{\"bench\": {:?}, \"mean_ns\": {}, \"median_ns\": {}, \"iters\": {}, \"elements_per_iter\": {}, \"throughput_per_sec\": {}}}{}\n",
+            "  {{\"bench\": {:?}, \"mean_ns\": {}, \"median_ns\": {}, \"iters\": {}, \"elements_per_iter\": {}, \"throughput_per_sec\": {}, \"threads\": {}, \"host_cpus\": {}, \"rustc\": {:?}}}{}\n",
             r.name,
             json_num(r.mean_ns),
             json_num(r.median_ns),
             r.iters,
             elems,
             rate,
+            threads,
+            host_cpus,
+            rustc,
             if i + 1 == results.len() { "" } else { "," },
         ));
     }
@@ -286,6 +315,9 @@ fn human_time(ns: f64) -> String {
 pub struct Bencher {
     test_mode: bool,
     budget: Duration,
+    /// Floor on timed batches (`sample_size`): measurement continues past
+    /// the wall-clock budget until this many samples back the median.
+    min_samples: usize,
     total: Duration,
     iters: u64,
     /// Per-batch sample means (ns per iteration), for the median.
@@ -328,7 +360,7 @@ impl Bencher {
             batch *= 2;
         }
         let deadline = Instant::now() + self.budget;
-        while Instant::now() < deadline {
+        while Instant::now() < deadline || self.samples.len() < self.min_samples {
             let t0 = Instant::now();
             for _ in 0..batch {
                 black_box(f());
@@ -361,7 +393,7 @@ impl Bencher {
             self.total += dt;
             self.iters += 1;
             self.samples.push(dt.as_nanos() as f64);
-            if Instant::now() >= deadline {
+            if Instant::now() >= deadline && self.samples.len() >= self.min_samples {
                 break;
             }
         }
