@@ -612,6 +612,104 @@ impl TscNtpClock {
     pub fn history(&self) -> &History {
         &self.history
     }
+
+    // ------------------------------------------------------------------
+    // Crash-safe snapshots
+    // ------------------------------------------------------------------
+
+    /// Serializes the complete clock state into a snapshot payload (no
+    /// envelope — the composition layers, e.g. the quorum clock, embed
+    /// many of these in one payload). Use [`TscNtpClock::snapshot`] for a
+    /// standalone blob.
+    #[doc(hidden)]
+    pub fn save_state(&self, w: &mut crate::snapshot::SnapshotWriter) {
+        self.cfg.save_state(w);
+        self.history.save_state(w);
+        self.rate.save_state(w);
+        self.local_rate.save_state(w);
+        self.offset.save_state(w);
+        self.shift.save_state(w);
+        w.put_f64(self.c_bar);
+        w.put_bool(self.aligned);
+        match self.pending_first {
+            Some(ex) => {
+                w.put_u8(1);
+                w.put_u64(ex.ta_tsc);
+                w.put_f64(ex.tb);
+                w.put_f64(ex.te);
+                w.put_u64(ex.tf_tsc);
+            }
+            None => w.put_u8(0),
+        }
+        w.put_f64(self.prev_tfc);
+    }
+
+    /// Deserializes a clock written by [`TscNtpClock::save_state`].
+    #[doc(hidden)]
+    pub fn load_state(
+        r: &mut crate::snapshot::SnapshotReader<'_>,
+    ) -> Result<Self, crate::SnapshotError> {
+        let cfg = ClockConfig::load_state(r)?;
+        let history = History::load_state(r)?;
+        let rate = GlobalRate::load_state(r)?;
+        let local_rate = LocalRate::load_state(r)?;
+        let offset = OffsetEstimator::load_state(r)?;
+        let shift = ShiftDetector::load_state(r)?;
+        let c_bar = r.get_f64()?;
+        let aligned = r.get_bool()?;
+        let pending_first = match r.get_u8()? {
+            0 => None,
+            1 => Some(RawExchange {
+                ta_tsc: r.get_u64()?,
+                tb: r.get_f64()?,
+                te: r.get_f64()?,
+                tf_tsc: r.get_u64()?,
+            }),
+            _ => return Err(crate::SnapshotError::Invalid("option tag not 0/1")),
+        };
+        Ok(Self {
+            cfg,
+            history,
+            rate,
+            local_rate,
+            offset,
+            shift,
+            c_bar,
+            aligned,
+            pending_first,
+            prev_tfc: r.get_f64()?,
+        })
+    }
+
+    /// Serializes the complete clock — configuration, history rings and
+    /// era tables, both rate estimators, the factored-weight offset window
+    /// with its rebuild position, the shift detector, and the alignment
+    /// state — into a standalone versioned, checksummed snapshot blob.
+    ///
+    /// The **resume-exactness contract**: a clock restored from this blob
+    /// produces bit-identical outputs to the uninterrupted clock for every
+    /// subsequent packet (see `crates/core/README.md` and the
+    /// `snapshot_resume` differential suite).
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = crate::snapshot::SnapshotWriter::new();
+        self.save_state(&mut w);
+        w.seal(crate::snapshot::kind::CLOCK)
+    }
+
+    /// Restores a clock from a [`TscNtpClock::snapshot`] blob.
+    ///
+    /// Any corruption — truncation, bit flips, a foreign or
+    /// version-mismatched envelope, or parameters that fail validation —
+    /// returns a typed [`crate::SnapshotError`]; this never panics on
+    /// untrusted bytes. Callers are expected to fall back to a cold
+    /// [`TscNtpClock::new`] on error (restore-or-degrade).
+    pub fn restore(bytes: &[u8]) -> Result<Self, crate::SnapshotError> {
+        let payload = crate::snapshot::open_envelope(bytes, crate::snapshot::kind::CLOCK)?;
+        let mut r = crate::snapshot::SnapshotReader::new(payload);
+        let clock = Self::load_state(&mut r)?;
+        r.finish()?;
+        Ok(clock)
+    }
 }
 
 #[cfg(test)]
@@ -929,6 +1027,50 @@ mod tests {
         assert_eq!(empty.theta_hat, back.theta_hat);
         assert_eq!(empty.rtt_min, back.rtt_min);
         assert_eq!(empty.packets, back.packets);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        // Core resume-exactness check (the cross-crate differential suite
+        // in tests/snapshot_resume.rs covers poll rates and wrappers):
+        // replay 400 packets, snapshot, restore, replay 300 more on both
+        // clocks — every output and the final status must match exactly.
+        let mut live = clock();
+        for k in 0..400u64 {
+            let q = if k % 7 == 0 { 2e-3 } else { 25e-6 };
+            live.process(ex(k as f64 * 16.0, q * 0.7, q * 0.3, 0.0));
+        }
+        let blob = live.snapshot();
+        let mut warm = TscNtpClock::restore(&blob).expect("restore");
+        assert_eq!(warm.status(), live.status());
+        for k in 400..700u64 {
+            let q = if k % 5 == 0 { 1e-3 } else { 30e-6 };
+            let e = ex(k as f64 * 16.0, q * 0.6, q * 0.4, 0.0);
+            let a = live.process(e);
+            let b = warm.process(e);
+            assert_eq!(a, b, "diverged at packet {k}");
+        }
+        assert_eq!(warm.status(), live.status());
+    }
+
+    #[test]
+    fn corrupted_snapshot_is_a_typed_error_never_a_panic() {
+        let mut c = clock();
+        for k in 0..50u64 {
+            c.process(ex(k as f64 * 16.0, 25e-6, 20e-6, 0.0));
+        }
+        let blob = c.snapshot();
+        assert!(TscNtpClock::restore(&blob).is_ok());
+        // truncation at every prefix length
+        for n in (0..blob.len()).step_by(7) {
+            assert!(TscNtpClock::restore(&blob[..n]).is_err());
+        }
+        // single-bit flips across the blob
+        for i in (0..blob.len()).step_by(11) {
+            let mut m = blob.clone();
+            m[i] ^= 0x10;
+            assert!(TscNtpClock::restore(&m).is_err(), "flip at {i} accepted");
+        }
     }
 
     #[test]

@@ -171,6 +171,63 @@ impl ClockConfig {
     }
 }
 
+impl ClockConfig {
+    /// Serializes every parameter into a snapshot payload (18 fields,
+    /// field order is the struct order and is part of snapshot format v1).
+    pub fn save_state(&self, w: &mut crate::snapshot::SnapshotWriter) {
+        w.put_f64(self.delta);
+        w.put_f64(self.tau_star);
+        w.put_f64(self.tau_prime);
+        w.put_f64(self.tau_bar);
+        w.put_usize(self.w_split);
+        w.put_f64(self.e_star);
+        w.put_f64(self.quality_scale);
+        w.put_f64(self.fallback_mult);
+        w.put_f64(self.aging_rate);
+        w.put_f64(self.gamma_star);
+        w.put_f64(self.rate_sanity);
+        w.put_f64(self.offset_sanity);
+        w.put_f64(self.shift_mult);
+        w.put_f64(self.ts_window);
+        w.put_f64(self.top_window);
+        w.put_f64(self.poll_period);
+        w.put_usize(self.warmup_packets);
+        w.put_bool(self.use_local_rate);
+    }
+
+    /// Deserializes and **re-validates** a config from a snapshot payload:
+    /// corrupt parameters that still checksum (e.g. a pre-checksum bug)
+    /// surface as [`crate::SnapshotError::Invalid`], never as a clock
+    /// silently running with nonsense windows.
+    pub fn load_state(
+        r: &mut crate::snapshot::SnapshotReader<'_>,
+    ) -> Result<Self, crate::SnapshotError> {
+        let cfg = Self {
+            delta: r.get_f64()?,
+            tau_star: r.get_f64()?,
+            tau_prime: r.get_f64()?,
+            tau_bar: r.get_f64()?,
+            w_split: r.get_usize()?,
+            e_star: r.get_f64()?,
+            quality_scale: r.get_f64()?,
+            fallback_mult: r.get_f64()?,
+            aging_rate: r.get_f64()?,
+            gamma_star: r.get_f64()?,
+            rate_sanity: r.get_f64()?,
+            offset_sanity: r.get_f64()?,
+            shift_mult: r.get_f64()?,
+            ts_window: r.get_f64()?,
+            top_window: r.get_f64()?,
+            poll_period: r.get_f64()?,
+            warmup_packets: r.get_usize()?,
+            use_local_rate: r.get_bool()?,
+        };
+        cfg.validate()
+            .map_err(|_| crate::SnapshotError::Invalid("clock config fails validation"))?;
+        Ok(cfg)
+    }
+}
+
 impl Default for ClockConfig {
     fn default() -> Self {
         Self::paper_defaults(16.0)

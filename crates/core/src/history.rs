@@ -108,6 +108,75 @@ impl PacketRecord {
     pub fn point_error(&self, p_hat: f64) -> f64 {
         (self.rtt_c - self.rbase_c) * p_hat
     }
+
+    /// Serialized size in bytes (lower bound used for length validation).
+    pub(crate) const WIRE_BYTES: usize = 104;
+
+    /// Serializes the record into a snapshot payload (field order is the
+    /// struct order and is part of snapshot format v1).
+    pub(crate) fn save_state(&self, w: &mut crate::snapshot::SnapshotWriter) {
+        w.put_u64(self.idx);
+        w.put_u64(self.ex.ta_tsc);
+        w.put_f64(self.ex.tb);
+        w.put_f64(self.ex.te);
+        w.put_u64(self.ex.tf_tsc);
+        w.put_f64(self.ta_c);
+        w.put_f64(self.tf_c);
+        w.put_f64(self.rtt_c);
+        w.put_f64(self.rbase_c);
+        w.put_u32(self.era);
+        w.put_u32(self.epoch);
+        w.put_f64(self.hm_c);
+        w.put_f64(self.sm);
+        w.put_f64(self.theta);
+    }
+
+    /// Deserializes a record written by [`PacketRecord::save_state`].
+    pub(crate) fn load_state(
+        r: &mut crate::snapshot::SnapshotReader<'_>,
+    ) -> Result<Self, crate::SnapshotError> {
+        Ok(Self {
+            idx: r.get_u64()?,
+            ex: RawExchange {
+                ta_tsc: r.get_u64()?,
+                tb: r.get_f64()?,
+                te: r.get_f64()?,
+                tf_tsc: r.get_u64()?,
+            },
+            ta_c: r.get_f64()?,
+            tf_c: r.get_f64()?,
+            rtt_c: r.get_f64()?,
+            rbase_c: r.get_f64()?,
+            era: r.get_u32()?,
+            epoch: r.get_u32()?,
+            hm_c: r.get_f64()?,
+            sm: r.get_f64()?,
+            theta: r.get_f64()?,
+        })
+    }
+
+    /// Serializes an `Option<PacketRecord>` (tag byte + record).
+    pub(crate) fn save_opt(v: &Option<Self>, w: &mut crate::snapshot::SnapshotWriter) {
+        match v {
+            Some(rec) => {
+                w.put_u8(1);
+                rec.save_state(w);
+            }
+            None => w.put_u8(0),
+        }
+    }
+
+    /// Deserializes an `Option<PacketRecord>` written by
+    /// [`PacketRecord::save_opt`].
+    pub(crate) fn load_opt(
+        r: &mut crate::snapshot::SnapshotReader<'_>,
+    ) -> Result<Option<Self>, crate::SnapshotError> {
+        match r.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(Self::load_state(r)?)),
+            _ => Err(crate::SnapshotError::Invalid("option tag not 0/1")),
+        }
+    }
 }
 
 /// Result of pushing a packet into the history.
@@ -517,6 +586,100 @@ impl History {
         self.records.range(start..end)
     }
 
+    /// Serializes the complete history — retained records with their raw
+    /// admission-time baselines, the monotonic min-deque, and the full
+    /// era/min-event tables — into a snapshot payload. Records are stored
+    /// *unresolved* so lazy baseline resolution replays identically after
+    /// restore.
+    pub fn save_state(&self, w: &mut crate::snapshot::SnapshotWriter) {
+        w.put_usize(self.cap);
+        w.put_f64(self.rtt_min_c);
+        w.put_u32(self.era_base);
+        w.put_u64(self.rebase_gen);
+        w.put_u64(self.next_idx);
+        w.put_usize(self.records.len());
+        for r in &self.records {
+            r.save_state(w);
+        }
+        w.put_usize(self.mono.len());
+        for &(i, v) in &self.mono {
+            w.put_u64(i);
+            w.put_f64(v);
+        }
+        w.put_usize(self.eras.len());
+        for e in &self.eras {
+            w.put_u64(e.start_idx);
+            w.put_f64(e.base);
+            w.put_u32(e.next_seq);
+            w.put_usize(e.events.len());
+            for &(s, v) in &e.events {
+                w.put_u32(s);
+                w.put_f64(v);
+            }
+        }
+    }
+
+    /// Deserializes a history written by [`History::save_state`],
+    /// re-checking the structural invariants the rest of the pipeline
+    /// relies on (capacity floor, non-empty era table, record count within
+    /// capacity).
+    pub fn load_state(
+        r: &mut crate::snapshot::SnapshotReader<'_>,
+    ) -> Result<Self, crate::SnapshotError> {
+        use crate::SnapshotError as E;
+        let cap = r.get_usize()?;
+        if cap < 4 {
+            return Err(E::Invalid("history window too small"));
+        }
+        let rtt_min_c = r.get_f64()?;
+        let era_base = r.get_u32()?;
+        let rebase_gen = r.get_u64()?;
+        let next_idx = r.get_u64()?;
+        let n_rec = r.get_len(PacketRecord::WIRE_BYTES)?;
+        if n_rec > cap {
+            return Err(E::Invalid("history holds more records than its window"));
+        }
+        let mut records = VecDeque::with_capacity(cap.min(n_rec.max(256)));
+        for _ in 0..n_rec {
+            records.push_back(PacketRecord::load_state(r)?);
+        }
+        let n_mono = r.get_len(16)?;
+        let mut mono = VecDeque::with_capacity(n_mono);
+        for _ in 0..n_mono {
+            mono.push_back((r.get_u64()?, r.get_f64()?));
+        }
+        let n_eras = r.get_len(24)?;
+        if n_eras == 0 {
+            return Err(E::Invalid("history era table empty"));
+        }
+        let mut eras = Vec::with_capacity(n_eras);
+        for _ in 0..n_eras {
+            let start_idx = r.get_u64()?;
+            let base = r.get_f64()?;
+            let next_seq = r.get_u32()?;
+            let n_ev = r.get_len(12)?;
+            let mut events = Vec::with_capacity(n_ev);
+            for _ in 0..n_ev {
+                events.push((r.get_u32()?, r.get_f64()?));
+            }
+            eras.push(Era {
+                start_idx,
+                base,
+                events,
+                next_seq,
+            });
+        }
+        Ok(Self {
+            records,
+            cap,
+            rtt_min_c,
+            mono,
+            eras,
+            era_base,
+            rebase_gen,
+            next_idx,
+        })
+    }
 }
 
 /// See [`History::baseline_view`].

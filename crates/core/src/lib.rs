@@ -118,6 +118,7 @@ pub mod rate;
 #[cfg(any(test, feature = "reference"))]
 pub mod reference;
 pub mod shift;
+pub mod snapshot;
 pub mod units;
 
 pub use asym::{estimate_asymmetry, RefExchange};
@@ -136,3 +137,4 @@ pub use naive::{naive_offset, naive_rate, naive_rate_backward, naive_rate_forwar
 pub use offset::{OffsetEstimator, OffsetEvent};
 pub use rate::{GlobalRate, RateEvent};
 pub use shift::{ShiftDetector, UpwardShift};
+pub use snapshot::SnapshotError;

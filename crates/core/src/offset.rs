@@ -847,6 +847,173 @@ impl OffsetEstimator {
     }
 }
 
+impl FactoredWindow {
+    /// Serializes the rolling window — the whole ring (dead slots
+    /// included: they are never read, but a verbatim image keeps restore
+    /// trivially exact), the anchored sums, the κ min-deque, and the
+    /// rebuild bookkeeping.
+    fn save_state(&self, w: &mut crate::snapshot::SnapshotWriter) {
+        w.put_usize(self.cap);
+        for s in &self.ring {
+            w.put_f64(s.pe_c);
+            w.put_f64(s.tf_c);
+            w.put_f64(s.hm_c);
+            w.put_f64(s.sm);
+            w.put_f64(s.u);
+        }
+        w.put_f64(self.p0);
+        w.put_f64(self.cbar0);
+        w.put_f64(self.tf_ref);
+        w.put_f64(self.hm_ref);
+        w.put_f64(self.anchor);
+        w.put_f64(self.inv_lc0);
+        w.put_f64(self.s_w);
+        w.put_f64(self.s_wth0);
+        w.put_f64(self.s_whm);
+        w.put_f64(self.s_wtf);
+        w.put_f64(self.s_wpe);
+        w.put_usize(self.min_q.len());
+        for &(i, kap) in &self.min_q {
+            w.put_u64(i);
+            w.put_f64(kap);
+        }
+        w.put_u64(self.last_idx);
+        w.put_usize(self.len);
+        w.put_u64(self.gen);
+        w.put_u32(self.until_rebuild);
+        w.put_bool(self.valid);
+    }
+
+    /// Deserializes a window written by [`FactoredWindow::save_state`].
+    fn load_state(
+        r: &mut crate::snapshot::SnapshotReader<'_>,
+    ) -> Result<Self, crate::SnapshotError> {
+        use crate::SnapshotError as E;
+        let cap = r.get_usize()?;
+        if cap != 0 && !cap.is_power_of_two() {
+            return Err(E::Invalid("offset ring capacity not a power of two"));
+        }
+        if cap.checked_mul(40).is_none_or(|b| b > r.remaining()) {
+            return Err(E::Truncated);
+        }
+        let mut ring = Vec::with_capacity(cap);
+        for _ in 0..cap {
+            ring.push(Slot {
+                pe_c: r.get_f64()?,
+                tf_c: r.get_f64()?,
+                hm_c: r.get_f64()?,
+                sm: r.get_f64()?,
+                u: r.get_f64()?,
+            });
+        }
+        let p0 = r.get_f64()?;
+        let cbar0 = r.get_f64()?;
+        let tf_ref = r.get_f64()?;
+        let hm_ref = r.get_f64()?;
+        let anchor = r.get_f64()?;
+        let inv_lc0 = r.get_f64()?;
+        let s_w = r.get_f64()?;
+        let s_wth0 = r.get_f64()?;
+        let s_whm = r.get_f64()?;
+        let s_wtf = r.get_f64()?;
+        let s_wpe = r.get_f64()?;
+        let n_q = r.get_len(16)?;
+        let mut min_q = VecDeque::with_capacity(n_q);
+        for _ in 0..n_q {
+            min_q.push_back((r.get_u64()?, r.get_f64()?));
+        }
+        let last_idx = r.get_u64()?;
+        let len = r.get_usize()?;
+        let gen = r.get_u64()?;
+        let until_rebuild = r.get_u32()?;
+        let valid = r.get_bool()?;
+        if valid && (len > cap || len == 0 || min_q.is_empty()) {
+            return Err(E::Invalid("offset window geometry inconsistent"));
+        }
+        Ok(Self {
+            cap,
+            ring,
+            p0,
+            cbar0,
+            tf_ref,
+            hm_ref,
+            anchor,
+            inv_lc0,
+            s_w,
+            s_wth0,
+            s_whm,
+            s_wtf,
+            s_wpe,
+            min_q,
+            last_idx,
+            len,
+            gen,
+            until_rebuild,
+            valid,
+        })
+    }
+}
+
+impl OffsetEstimator {
+    /// Serializes the estimator — the estimate and its error, the sanity
+    /// run, the frozen ρ and derived scales, the config cache, and the
+    /// complete rolling window (mid-rebuild positions included: the
+    /// `until_rebuild` countdown resumes exactly where it stopped, so a
+    /// snapshot taken between cadence rebuilds replays identically). The
+    /// κ scratch buffer is not state and is restored empty.
+    pub fn save_state(&self, w: &mut crate::snapshot::SnapshotWriter) {
+        w.put_opt_f64(self.theta);
+        w.put_f64(self.last_tfc);
+        w.put_f64(self.last_err);
+        w.put_u32(self.sanity_run);
+        w.put_f64(self.cached_cfg.0);
+        w.put_f64(self.cached_cfg.1);
+        w.put_usize(self.cached_window_n);
+        w.put_u32(self.cached_max_run);
+        w.put_f64(self.rho);
+        w.put_f64(self.inv_lc_warm);
+        w.put_f64(self.inv_lc_steady);
+        w.put_u32(self.rebuild_every);
+        self.win.save_state(w);
+    }
+
+    /// Deserializes an estimator written by [`OffsetEstimator::save_state`].
+    pub fn load_state(
+        r: &mut crate::snapshot::SnapshotReader<'_>,
+    ) -> Result<Self, crate::SnapshotError> {
+        let theta = r.get_opt_f64()?;
+        let last_tfc = r.get_f64()?;
+        let last_err = r.get_f64()?;
+        let sanity_run = r.get_u32()?;
+        let cached_cfg = (r.get_f64()?, r.get_f64()?);
+        let cached_window_n = r.get_usize()?;
+        let cached_max_run = r.get_u32()?;
+        let rho = r.get_f64()?;
+        let inv_lc_warm = r.get_f64()?;
+        let inv_lc_steady = r.get_f64()?;
+        let rebuild_every = r.get_u32()?;
+        if rebuild_every == 0 {
+            return Err(crate::SnapshotError::Invalid("zero rebuild cadence"));
+        }
+        let win = FactoredWindow::load_state(r)?;
+        Ok(Self {
+            theta,
+            last_tfc,
+            last_err,
+            sanity_run,
+            cached_cfg,
+            cached_window_n,
+            cached_max_run,
+            rho,
+            inv_lc_warm,
+            inv_lc_steady,
+            rebuild_every,
+            win,
+            kappa_buf: Vec::new(),
+        })
+    }
+}
+
 /// Pending state between [`OffsetEstimator::process_eval`] and
 /// [`OffsetEstimator::process_finish`].
 #[doc(hidden)]

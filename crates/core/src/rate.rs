@@ -555,6 +555,78 @@ impl GlobalRate {
     pub fn pair_indices(&self) -> Option<(u64, u64)> {
         Some((self.j?.idx, self.i?.idx))
     }
+
+    /// Serializes the estimator — warm-up records, the estimating pair,
+    /// the refresh stamp and the pair cache — into a snapshot payload. The
+    /// stamp and cache are memo state, but they must round-trip verbatim:
+    /// a cleared stamp would force a refresh on the first post-restore
+    /// packet that the uninterrupted run would have skipped, and the
+    /// re-derived quality could differ in the last bit.
+    pub fn save_state(&self, w: &mut crate::snapshot::SnapshotWriter) {
+        w.put_f64(self.e_star);
+        w.put_usize(self.warmup_packets);
+        w.put_usize(self.warmup.len());
+        for rec in &self.warmup {
+            rec.save_state(w);
+        }
+        PacketRecord::save_opt(&self.j, w);
+        PacketRecord::save_opt(&self.i, w);
+        w.put_opt_f64(self.p_hat);
+        w.put_f64(self.quality);
+        w.put_u64(self.n_seen);
+        w.put_u64(self.refresh_stamp.0);
+        w.put_u64(self.refresh_stamp.1);
+        w.put_u64(self.refresh_stamp.2);
+        w.put_u64(self.refresh_stamp.3);
+        w.put_bool(self.pair_cache.valid);
+        w.put_u64(self.pair_cache.j_idx);
+        w.put_u64(self.pair_cache.i_idx);
+        w.put_f64(self.pair_cache.dc);
+        w.put_f64(self.pair_cache.key_j);
+        w.put_f64(self.pair_cache.key_i);
+    }
+
+    /// Deserializes an estimator written by [`GlobalRate::save_state`].
+    pub fn load_state(
+        r: &mut crate::snapshot::SnapshotReader<'_>,
+    ) -> Result<Self, crate::SnapshotError> {
+        use crate::SnapshotError as E;
+        let e_star = r.get_f64()?;
+        if e_star.is_nan() || e_star <= 0.0 {
+            return Err(E::Invalid("E* must be positive"));
+        }
+        let warmup_packets = r.get_usize()?;
+        if warmup_packets < 2 {
+            return Err(E::Invalid("warm-up shorter than two packets"));
+        }
+        let n_warm = r.get_len(PacketRecord::WIRE_BYTES)?;
+        if n_warm > warmup_packets {
+            return Err(E::Invalid("warm-up list longer than the warm-up"));
+        }
+        let mut warmup = Vec::with_capacity(n_warm);
+        for _ in 0..n_warm {
+            warmup.push(PacketRecord::load_state(r)?);
+        }
+        Ok(Self {
+            e_star,
+            warmup_packets,
+            warmup,
+            j: PacketRecord::load_opt(r)?,
+            i: PacketRecord::load_opt(r)?,
+            p_hat: r.get_opt_f64()?,
+            quality: r.get_f64()?,
+            n_seen: r.get_u64()?,
+            refresh_stamp: (r.get_u64()?, r.get_u64()?, r.get_u64()?, r.get_u64()?),
+            pair_cache: PairCache {
+                valid: r.get_bool()?,
+                j_idx: r.get_u64()?,
+                i_idx: r.get_u64()?,
+                dc: r.get_f64()?,
+                key_j: r.get_f64()?,
+                key_i: r.get_f64()?,
+            },
+        })
+    }
 }
 
 #[cfg(test)]

@@ -140,6 +140,54 @@ impl ShiftDetector {
     pub fn ts_packets(&self) -> usize {
         self.ts_packets
     }
+
+    /// Serializes the detector — the full sample ring (stale slots
+    /// included: they become unreachable only through `seq`, which is also
+    /// restored), cursor, sequence and park horizon.
+    pub fn save_state(&self, w: &mut crate::snapshot::SnapshotWriter) {
+        w.put_f64(self.threshold);
+        w.put_usize(self.ts_packets);
+        for &v in &self.ring {
+            w.put_f64(v);
+        }
+        w.put_usize(self.cursor);
+        w.put_u64(self.seq);
+        w.put_u64(self.parked_until);
+    }
+
+    /// Deserializes a detector written by [`ShiftDetector::save_state`].
+    pub fn load_state(
+        r: &mut crate::snapshot::SnapshotReader<'_>,
+    ) -> Result<Self, crate::SnapshotError> {
+        use crate::SnapshotError as E;
+        let threshold = r.get_f64()?;
+        if threshold.is_nan() || threshold <= 0.0 {
+            return Err(E::Invalid("shift threshold must be positive"));
+        }
+        let ts_packets = r.get_usize()?;
+        if ts_packets < 2 {
+            return Err(E::Invalid("shift window shorter than two packets"));
+        }
+        if ts_packets.checked_mul(8).is_none_or(|b| b > r.remaining()) {
+            return Err(E::Truncated);
+        }
+        let mut ring = Vec::with_capacity(ts_packets);
+        for _ in 0..ts_packets {
+            ring.push(r.get_f64()?);
+        }
+        let cursor = r.get_usize()?;
+        if cursor >= ts_packets {
+            return Err(E::Invalid("shift ring cursor out of range"));
+        }
+        Ok(Self {
+            threshold,
+            ts_packets,
+            ring,
+            cursor,
+            seq: r.get_u64()?,
+            parked_until: r.get_u64()?,
+        })
+    }
 }
 
 #[cfg(test)]

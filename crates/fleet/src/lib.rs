@@ -57,6 +57,7 @@ pub mod megabatch;
 pub mod pool;
 pub mod population;
 pub mod quorum;
+pub mod recovery;
 pub mod replay;
 
 pub use lifecycle::{
@@ -66,12 +67,18 @@ pub use lifecycle::{
 pub use megabatch::{replay_stripe, Megabatch};
 pub use pool::WorkerPool;
 pub use population::{
-    compare_herd, replay_population, replay_population_client, replay_population_sequential,
-    ChurnPlan, ClientSummary, HerdComparison, PopulationConfig, PopulationSummary,
+    compare_herd, compare_herd_restarted, replay_population, replay_population_checkpointed,
+    replay_population_client, replay_population_client_checkpointed,
+    replay_population_sequential, ChurnPlan, ClientSummary, HerdComparison, PopulationConfig,
+    PopulationSummary,
 };
 pub use quorum::{
     replay_quorum_entry, replay_quorum_fleet, replay_quorum_sequential, total_quorum_delivered,
     total_quorum_rounds, QuorumFleetConfig, QuorumSummary,
+};
+pub use recovery::{
+    replay_clock_checkpointed, replay_fleet_checkpointed, CheckpointStore, ClockCheckpoint,
+    CrashPlan, LatestCheckpoint, RecoveryStats,
 };
 pub use replay::{
     replay_clock, replay_fleet, replay_sequential, total_delivered, ClockSummary, FleetConfig,

@@ -47,7 +47,8 @@ use rand::{RngExt, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 use tsc_netsim::profile::PathProfile;
 use tsc_netsim::multi::splitmix64;
-use tscclock::{ClockConfig, ProcessOutput, RawExchange, TscNtpClock};
+use tscclock::snapshot::{self, SnapshotReader, SnapshotWriter};
+use tscclock::{ClockConfig, ProcessOutput, RawExchange, SnapshotError, TscNtpClock};
 
 /// Salt of the per-client jitter stream.
 const JITTER_SALT: u64 = 0xC0_0F_EE_15_7E_A2_B4_D6;
@@ -74,6 +75,18 @@ pub enum ClientState {
 pub const STATE_COUNT: usize = 5;
 
 impl ClientState {
+    /// Decodes a snapshot state tag.
+    fn from_tag(tag: u8) -> Result<Self, SnapshotError> {
+        Ok(match tag {
+            0 => ClientState::Unsynced,
+            1 => ClientState::Syncing,
+            2 => ClientState::Synced,
+            3 => ClientState::Degraded,
+            4 => ClientState::Failed,
+            _ => return Err(SnapshotError::Invalid("unknown client state tag")),
+        })
+    }
+
     /// Display name.
     pub fn name(self) -> &'static str {
         match self {
@@ -101,6 +114,31 @@ pub enum TransitionCause {
     CooldownExpired,
     /// An accepted sample ended a degraded spell.
     Recovered,
+}
+
+impl TransitionCause {
+    fn to_tag(self) -> u8 {
+        match self {
+            TransitionCause::Aligned => 0,
+            TransitionCause::Sampling => 1,
+            TransitionCause::DegradedByLosses => 2,
+            TransitionCause::CooldownEntered => 3,
+            TransitionCause::CooldownExpired => 4,
+            TransitionCause::Recovered => 5,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, SnapshotError> {
+        Ok(match tag {
+            0 => TransitionCause::Aligned,
+            1 => TransitionCause::Sampling,
+            2 => TransitionCause::DegradedByLosses,
+            3 => TransitionCause::CooldownEntered,
+            4 => TransitionCause::CooldownExpired,
+            5 => TransitionCause::Recovered,
+            _ => return Err(SnapshotError::Invalid("unknown transition cause tag")),
+        })
+    }
 }
 
 /// One recorded transition.
@@ -204,6 +242,53 @@ impl LifecycleConfig {
         self.jitter_frac = 0.0;
         self.max_retries = u32::MAX;
         self
+    }
+
+    /// Serializes the config (snapshot payload, no envelope).
+    pub fn save_state(&self, w: &mut SnapshotWriter) {
+        w.put_f64(self.poll_period);
+        w.put_f64(self.timeout);
+        w.put_f64(self.delay_threshold);
+        w.put_u32(self.degrade_after);
+        w.put_f64(self.backoff_base);
+        w.put_f64(self.backoff_max);
+        w.put_f64(self.jitter_frac);
+        w.put_u32(self.max_retries);
+        w.put_f64(self.cooldown);
+        w.put_f64(self.stale_horizon);
+        w.put_f64(self.bound_floor);
+        w.put_f64(self.widen_rate);
+        w.put_usize(self.max_trace);
+    }
+
+    /// Deserializes a config written by [`LifecycleConfig::save_state`],
+    /// re-checking the invariants the driver relies on.
+    pub fn load_state(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let cfg = Self {
+            poll_period: r.get_f64()?,
+            timeout: r.get_f64()?,
+            delay_threshold: r.get_f64()?,
+            degrade_after: r.get_u32()?,
+            backoff_base: r.get_f64()?,
+            backoff_max: r.get_f64()?,
+            jitter_frac: r.get_f64()?,
+            max_retries: r.get_u32()?,
+            cooldown: r.get_f64()?,
+            stale_horizon: r.get_f64()?,
+            bound_floor: r.get_f64()?,
+            widen_rate: r.get_f64()?,
+            max_trace: r.get_usize()?,
+        };
+        if !(cfg.poll_period > 0.0
+            && cfg.timeout > 0.0
+            && cfg.backoff_base > 0.0
+            && cfg.backoff_max >= cfg.backoff_base
+            && cfg.max_retries >= 1
+            && cfg.degrade_after >= 1)
+        {
+            return Err(SnapshotError::Invalid("lifecycle config fails validation"));
+        }
+        Ok(cfg)
     }
 }
 
@@ -490,6 +575,146 @@ impl LifecycleClient {
         self.transitions += 1;
         self.state = to;
     }
+
+    /// Serializes the complete client — policy config, wrapped clock,
+    /// state machine position, **backoff-ladder and cooldown position**,
+    /// jitter-RNG stream position, last-good serve state, trace, and all
+    /// counters — into a versioned, checksummed snapshot envelope
+    /// ([`tscclock::snapshot::kind::LIFECYCLE`]).
+    ///
+    /// The RNG is captured as its `(key, counter, index)` stream position
+    /// — a restart does **not** reseed, so the retry schedule after a
+    /// restore is the exact schedule the uninterrupted client would have
+    /// drawn. That is what keeps a restarted fleet herd-safe: restored
+    /// clients stay spread across the jitter window instead of
+    /// re-phase-locking.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        self.cfg.save_state(&mut w);
+        self.clock.save_state(&mut w);
+        w.put_u8(self.state as u8);
+        w.put_f64(self.next_send);
+        w.put_f64(self.cooldown_until);
+        w.put_u32(self.consecutive_timeouts);
+        w.put_u32(self.consecutive_bad);
+        w.put_f64(self.last_good_t);
+        w.put_f64(self.last_good_bound);
+        w.put_bool(self.ever_aligned);
+        let (key, counter, idx) = self.rng.export_state();
+        for word in key {
+            w.put_u32(word);
+        }
+        w.put_u64(counter);
+        w.put_usize(idx);
+        w.put_usize(self.trace.len());
+        for tr in &self.trace {
+            w.put_f64(tr.t);
+            w.put_u8(tr.from as u8);
+            w.put_u8(tr.to as u8);
+            w.put_u8(tr.cause.to_tag());
+        }
+        w.put_u64(self.transitions);
+        for t in self.time_in_state {
+            w.put_f64(t);
+        }
+        w.put_f64(self.last_change_t);
+        w.put_u64(self.requests);
+        w.put_u64(self.accepted);
+        w.put_u64(self.rejected);
+        w.put_u64(self.timeouts);
+        w.seal(snapshot::kind::LIFECYCLE)
+    }
+
+    /// Restores a client from a [`LifecycleClient::snapshot`] blob.
+    ///
+    /// Corruption of any kind yields a typed [`SnapshotError`] — never a
+    /// panic, never a silently wrong client. Use
+    /// [`LifecycleClient::restore_or_cold`] for the degrade-to-cold-start
+    /// policy.
+    pub fn restore(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let payload = snapshot::open_envelope(bytes, snapshot::kind::LIFECYCLE)?;
+        let mut r = SnapshotReader::new(payload);
+        let cfg = LifecycleConfig::load_state(&mut r)?;
+        let clock = TscNtpClock::load_state(&mut r)?;
+        let state = ClientState::from_tag(r.get_u8()?)?;
+        let next_send = r.get_f64()?;
+        let cooldown_until = r.get_f64()?;
+        let consecutive_timeouts = r.get_u32()?;
+        let consecutive_bad = r.get_u32()?;
+        let last_good_t = r.get_f64()?;
+        let last_good_bound = r.get_f64()?;
+        let ever_aligned = r.get_bool()?;
+        let mut key = [0u32; 8];
+        for word in &mut key {
+            *word = r.get_u32()?;
+        }
+        let counter = r.get_u64()?;
+        let idx = r.get_usize()?;
+        if idx > rand_chacha::BUF_WORDS {
+            return Err(SnapshotError::Invalid("rng buffer index out of range"));
+        }
+        let rng = ChaCha12Rng::from_state(key, counter, idx);
+        let n_trace = r.get_len(11)?;
+        if n_trace > cfg.max_trace {
+            return Err(SnapshotError::Invalid("trace longer than its cap"));
+        }
+        let mut trace = Vec::with_capacity(n_trace);
+        for _ in 0..n_trace {
+            trace.push(Transition {
+                t: r.get_f64()?,
+                from: ClientState::from_tag(r.get_u8()?)?,
+                to: ClientState::from_tag(r.get_u8()?)?,
+                cause: TransitionCause::from_tag(r.get_u8()?)?,
+            });
+        }
+        let transitions = r.get_u64()?;
+        let mut time_in_state = [0.0; STATE_COUNT];
+        for t in &mut time_in_state {
+            *t = r.get_f64()?;
+        }
+        let c = Self {
+            cfg,
+            clock,
+            state,
+            next_send,
+            cooldown_until,
+            consecutive_timeouts,
+            consecutive_bad,
+            last_good_t,
+            last_good_bound,
+            ever_aligned,
+            rng,
+            trace,
+            transitions,
+            time_in_state,
+            last_change_t: r.get_f64()?,
+            requests: r.get_u64()?,
+            accepted: r.get_u64()?,
+            rejected: r.get_u64()?,
+            timeouts: r.get_u64()?,
+        };
+        r.finish()?;
+        Ok(c)
+    }
+
+    /// Restore-or-degrade: tries [`LifecycleClient::restore`]; on any
+    /// snapshot error falls back to a **cold** client (`new` with the
+    /// given parameters — state machine back at
+    /// [`ClientState::Unsynced`]), returning the error alongside so the
+    /// caller can log the degradation. A corrupted checkpoint costs warm
+    /// state, never correctness.
+    pub fn restore_or_cold(
+        bytes: &[u8],
+        cfg: LifecycleConfig,
+        clock_cfg: ClockConfig,
+        seed: u64,
+        join_t: f64,
+    ) -> (Self, Option<SnapshotError>) {
+        match Self::restore(bytes) {
+            Ok(c) => (c, None),
+            Err(e) => (Self::new(cfg, clock_cfg, seed, join_t), Some(e)),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -680,6 +905,107 @@ mod tests {
             c.on_timeout(now);
             assert!((c.next_send() - now - 4.0).abs() < 1e-12, "fixed 4 s retry");
             now = c.next_send() + naive.timeout;
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        // Warm through alignment, a degraded spell, and part of a backoff
+        // ladder (so the RNG stream is mid-flight), snapshot, restore, and
+        // drive both through the same outcome sequence: every scheduled
+        // send time, state, verdict and counter must match bit-for-bit.
+        let mut live = client(42);
+        let mut t = 16.0;
+        for _ in 0..220 {
+            live.on_response(t, good_raw(t), 1e-9);
+            t += 16.0;
+        }
+        for _ in 0..2 {
+            live.on_timeout(t);
+            t = live.next_send() + cfg().timeout;
+        }
+        let blob = live.snapshot();
+        let mut warm = LifecycleClient::restore(&blob).expect("clean snapshot must restore");
+        assert_eq!(warm.state(), live.state());
+        assert_eq!(warm.next_send().to_bits(), live.next_send().to_bits());
+        // identical future: more timeouts (jitter draws must agree), a
+        // recovery, then a full ladder into cooldown
+        for _ in 0..3 {
+            let a = live.on_timeout(t);
+            let b = warm.on_timeout(t);
+            assert_eq!(a, b);
+            assert_eq!(
+                live.next_send().to_bits(),
+                warm.next_send().to_bits(),
+                "jitter streams must resume in phase"
+            );
+            t = live.next_send() + cfg().timeout;
+        }
+        let a = live.on_response(t, good_raw(t), 1e-9);
+        let b = warm.on_response(t, good_raw(t), 1e-9);
+        assert!(matches!(a, ExchangeOutcome::Accepted(_)));
+        assert_eq!(a, b);
+        for _ in 0..cfg().max_retries {
+            live.on_timeout(t);
+            warm.on_timeout(t);
+            assert_eq!(live.next_send().to_bits(), warm.next_send().to_bits());
+            t = live.next_send().max(t) + 1.0;
+        }
+        assert_eq!(live.state(), warm.state());
+        assert_eq!(live.counters(), warm.counters());
+        assert_eq!(live.transition_count(), warm.transition_count());
+        assert_eq!(live.trace().len(), warm.trace().len());
+        for (x, y) in live.trace().iter().zip(warm.trace()) {
+            assert_eq!(x, y);
+        }
+        let tis_a = live.time_in_state();
+        let tis_b = warm.time_in_state();
+        for s in 0..STATE_COUNT {
+            assert_eq!(tis_a[s].to_bits(), tis_b[s].to_bits());
+        }
+        let tsc = (t * 1e9) as u64;
+        assert_eq!(live.read(tsc, t), warm.read(tsc, t));
+    }
+
+    #[test]
+    fn restore_or_cold_degrades_on_corruption() {
+        let mut c = client(7);
+        let mut t = 16.0;
+        for _ in 0..50 {
+            c.on_response(t, good_raw(t), 1e-9);
+            t += 16.0;
+        }
+        let blob = c.snapshot();
+        // clean restore: no error, warm state
+        let (warm, err) =
+            LifecycleClient::restore_or_cold(&blob, cfg(), ClockConfig::paper_defaults(16.0), 7, t);
+        assert!(err.is_none());
+        assert_eq!(warm.state(), c.state());
+        // every corruption degrades to a cold Unsynced client, never panics
+        for cut in (0..blob.len()).step_by(13) {
+            let (cold, err) = LifecycleClient::restore_or_cold(
+                &blob[..cut],
+                cfg(),
+                ClockConfig::paper_defaults(16.0),
+                7,
+                t,
+            );
+            assert!(err.is_some(), "cut {cut}");
+            assert_eq!(cold.state(), ClientState::Unsynced);
+            assert_eq!(cold.counters(), (0, 0, 0, 0));
+        }
+        for i in (0..blob.len()).step_by(19) {
+            let mut m = blob.clone();
+            m[i] ^= 0x40;
+            let (cold, err) = LifecycleClient::restore_or_cold(
+                &m,
+                cfg(),
+                ClockConfig::paper_defaults(16.0),
+                7,
+                t,
+            );
+            assert!(err.is_some(), "flip at {i}");
+            assert_eq!(cold.state(), ClientState::Unsynced);
         }
     }
 

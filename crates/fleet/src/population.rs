@@ -36,12 +36,14 @@ use crate::lifecycle::{
     ClientState, ExchangeOutcome, LifecycleClient, LifecycleConfig, STATE_COUNT,
 };
 use crate::pool::WorkerPool;
+use crate::recovery::{CheckpointStore, ClockCheckpoint, CrashPlan, LatestCheckpoint, RecoveryStats};
 use crate::replay::{fnv, FNV_OFFSET};
 use std::sync::Arc;
 use tsc_netsim::multi::splitmix64;
 use tsc_netsim::profile::{PathProfile, ProfileMix};
 use tsc_netsim::{OnDemandSim, Scenario};
-use tscclock::{ClockConfig, RawExchange};
+use tscclock::snapshot::{self, SnapshotReader, SnapshotWriter};
+use tscclock::{ClockConfig, RawExchange, SnapshotError};
 
 /// Salt of the per-client churn draws.
 const CHURN_SALT: u64 = 0x7A_31_9C_4E_D2_58_0B_F1;
@@ -126,6 +128,14 @@ pub struct PopulationConfig {
     pub bucket_width: f64,
     /// Clocks claimed per steal; `0` = auto.
     pub chunk: usize,
+    /// Warm-restart drill: at each client's first scheduled send at or
+    /// after this time, the client is snapshotted and restored **through
+    /// bytes** — a simulated process restart mid-run. Resume exactness
+    /// makes the drill a digest no-op, which is precisely what the
+    /// restart-mid-cooldown herd arm asserts: restored clients keep their
+    /// backoff-ladder position and jitter-stream phase, so the re-sync
+    /// spike stays suppressed.
+    pub restart_at: Option<f64>,
 }
 
 impl PopulationConfig {
@@ -144,6 +154,7 @@ impl PopulationConfig {
             naive_retry: 2.0,
             bucket_width,
             chunk: 0,
+            restart_at: None,
         }
     }
 
@@ -180,9 +191,77 @@ pub struct ClientSummary {
     pub digest: u64,
 }
 
-/// Replays one lifecycle client: the pure function of `(cfg, i)` the
-/// parity contract is built on.
-pub fn replay_population_client(cfg: &PopulationConfig, i: usize) -> ClientSummary {
+/// Seals a population-client checkpoint: the client's snapshot plus the
+/// replay sidecar (progress count, digest, sim re-drive script, buckets,
+/// errors) in one [`snapshot::kind::CHECKPOINT`] envelope.
+fn encode_client_checkpoint(
+    client: &LifecycleClient,
+    n: u64,
+    digest: u64,
+    sent: &[f64],
+    buckets: &[u32],
+    errors: &[f64],
+) -> Vec<u8> {
+    let mut w = SnapshotWriter::new();
+    w.put_u64(n);
+    w.put_u64(digest);
+    w.put_bytes(&client.snapshot());
+    w.put_usize(sent.len());
+    for &t in sent {
+        w.put_f64(t);
+    }
+    w.put_usize(buckets.len());
+    for &b in buckets {
+        w.put_u32(b);
+    }
+    w.put_usize(errors.len());
+    for &e in errors {
+        w.put_f64(e);
+    }
+    w.seal(snapshot::kind::CHECKPOINT)
+}
+
+#[allow(clippy::type_complexity)]
+fn decode_client_checkpoint(
+    blob: &[u8],
+) -> Result<(LifecycleClient, u64, u64, Vec<f64>, Vec<u32>, Vec<f64>), SnapshotError> {
+    let payload = snapshot::open_envelope(blob, snapshot::kind::CHECKPOINT)?;
+    let mut r = SnapshotReader::new(payload);
+    let n = r.get_u64()?;
+    let digest = r.get_u64()?;
+    let client = LifecycleClient::restore(r.get_bytes()?)?;
+    let n_sent = r.get_len(8)?;
+    let mut sent = Vec::with_capacity(n_sent);
+    for _ in 0..n_sent {
+        sent.push(r.get_f64()?);
+    }
+    let n_buckets = r.get_len(4)?;
+    let mut buckets = Vec::with_capacity(n_buckets);
+    for _ in 0..n_buckets {
+        buckets.push(r.get_u32()?);
+    }
+    let n_errors = r.get_len(8)?;
+    let mut errors = Vec::with_capacity(n_errors);
+    for _ in 0..n_errors {
+        errors.push(r.get_f64()?);
+    }
+    r.finish()?;
+    if n != sent.len() as u64 {
+        return Err(SnapshotError::Invalid("checkpoint request count mismatch"));
+    }
+    Ok((client, n, digest, sent, buckets, errors))
+}
+
+/// The one population-client replay loop, with optional checkpointing and
+/// crash injection. `checkpoint_every == 0` with no crash points is the
+/// plain fast path ([`replay_population_client`] delegates here).
+fn run_population_client(
+    cfg: &PopulationConfig,
+    i: usize,
+    checkpoint_every: u64,
+    crash_points: &[u64],
+    store: &mut dyn CheckpointStore,
+) -> (ClientSummary, RecoveryStats) {
     let seed = cfg.base_seed.wrapping_add(i as u64);
     let profile = cfg.mix.assign(cfg.base_seed, i);
     let scenario = profile.apply(&cfg.scenario, seed);
@@ -201,11 +280,27 @@ pub fn replay_population_client(cfg: &PopulationConfig, i: usize) -> ClientSumma
     let mut buckets = vec![0u32; cfg.buckets_len()];
     let mut errors = Vec::new();
     let mut digest = FNV_OFFSET;
+    let mut stats = RecoveryStats::default();
+    // Every send time issued so far — the sim re-drive script a restore
+    // needs (OnDemandSim is stateful; its state is a pure function of the
+    // issued t sequence). Recorded only while checkpointing.
+    let mut sent: Vec<f64> = Vec::new();
+    let mut n = 0u64;
+    let mut next_crash = 0usize;
+    let mut restart_pending = cfg.restart_at;
 
     loop {
         let t = client.next_send().max(sim.earliest_next());
         if t >= left_at {
             break;
+        }
+        if restart_pending.is_some_and(|rt| t >= rt) {
+            restart_pending = None;
+            // the warm-restart drill: a snapshot/restore round trip
+            // through bytes mid-run — resume exactness makes it invisible
+            let blob = client.snapshot();
+            client = LifecycleClient::restore(&blob)
+                .expect("snapshot of a live client must restore");
         }
         client.end_cooldown(t);
         client.note_request();
@@ -241,6 +336,51 @@ pub fn replay_population_client(cfg: &PopulationConfig, i: usize) -> ClientSumma
         };
         digest = fnv(digest, t.to_bits());
         digest = fnv(digest, code | (client.state() as u64) << 8);
+        n += 1;
+        if checkpoint_every > 0 {
+            sent.push(t);
+            if n.is_multiple_of(checkpoint_every) {
+                store.save(ClockCheckpoint {
+                    delivered: n,
+                    digest,
+                    blob: encode_client_checkpoint(&client, n, digest, &sent, &buckets, &errors),
+                });
+                stats.checkpoints += 1;
+            }
+        }
+        while crash_points.get(next_crash) == Some(&n) {
+            next_crash += 1;
+            stats.crashes += 1;
+            // the worker dies: recover from the last checkpoint, or
+            // degrade to a full cold re-run — either way the final
+            // summary is bit-identical to the uninterrupted replay
+            match store.last().and_then(|ck| decode_client_checkpoint(&ck.blob).ok()) {
+                Some((c, rn, rd, rsent, rbuckets, rerrors)) => {
+                    client = c;
+                    n = rn;
+                    digest = rd;
+                    buckets = rbuckets;
+                    errors = rerrors;
+                    sim = OnDemandSim::new(&scenario);
+                    for &ts in &rsent {
+                        let _ = sim.exchange_at(ts);
+                    }
+                    stats.replayed += rsent.len() as u64;
+                    sent = rsent;
+                    stats.warm_restores += 1;
+                }
+                None => {
+                    client = LifecycleClient::new(lc, cfg.clock, seed, joined_at);
+                    sim = OnDemandSim::new(&scenario);
+                    n = 0;
+                    digest = FNV_OFFSET;
+                    buckets = vec![0u32; cfg.buckets_len()];
+                    errors.clear();
+                    sent.clear();
+                    stats.cold_restarts += 1;
+                }
+            }
+        }
     }
     client.finish(left_at);
 
@@ -257,19 +397,45 @@ pub fn replay_population_client(cfg: &PopulationConfig, i: usize) -> ClientSumma
         digest = fnv(digest, e.to_bits());
     }
 
-    ClientSummary {
-        client: i,
-        profile,
-        final_state: client.state(),
-        time_in_state: client.time_in_state(),
-        counters: (requests, accepted, rejected, timeouts),
-        transitions: client.transition_count(),
-        joined_at,
-        left_at,
-        buckets,
-        errors,
-        digest,
-    }
+    (
+        ClientSummary {
+            client: i,
+            profile,
+            final_state: client.state(),
+            time_in_state: client.time_in_state(),
+            counters: (requests, accepted, rejected, timeouts),
+            transitions: client.transition_count(),
+            joined_at,
+            left_at,
+            buckets,
+            errors,
+            digest,
+        },
+        stats,
+    )
+}
+
+/// Replays one lifecycle client: the pure function of `(cfg, i)` the
+/// parity contract is built on.
+pub fn replay_population_client(cfg: &PopulationConfig, i: usize) -> ClientSummary {
+    run_population_client(cfg, i, 0, &[], &mut LatestCheckpoint::default()).0
+}
+
+/// Replays one client with periodic checkpointing and injected crashes.
+/// The summary is **bit-identical** to [`replay_population_client`] for
+/// any crash schedule; a checkpoint that fails to restore degrades to a
+/// cold re-run from the join time (see [`crate::recovery`]).
+///
+/// `crash_points` are strictly-ascending request counts (as
+/// [`CrashPlan::points`] returns).
+pub fn replay_population_client_checkpointed(
+    cfg: &PopulationConfig,
+    i: usize,
+    checkpoint_every: u64,
+    crash_points: &[u64],
+    store: &mut dyn CheckpointStore,
+) -> (ClientSummary, RecoveryStats) {
+    run_population_client(cfg, i, checkpoint_every, crash_points, store)
 }
 
 /// Fleet-level view of a population replay.
@@ -351,6 +517,45 @@ pub fn replay_population(pool: &mut WorkerPool, cfg: &PopulationConfig) -> Popul
     }
 }
 
+/// Replays the population with per-client checkpointing and the given
+/// crash schedule (crash points are request counts). Bit-identical to
+/// [`replay_population`] for any schedule, at any thread count — the
+/// crash-recovery parity suite pins it.
+pub fn replay_population_checkpointed(
+    pool: &mut WorkerPool,
+    cfg: &PopulationConfig,
+    checkpoint_every: u64,
+    crash: &CrashPlan,
+) -> (PopulationSummary, RecoveryStats) {
+    let chunk = if cfg.chunk == 0 {
+        (cfg.clients / (8 * pool.threads())).max(1)
+    } else {
+        cfg.chunk
+    };
+    let shared = Arc::new((cfg.clone(), *crash));
+    let results = pool.run(cfg.clients, chunk, move |i| {
+        let (cfg, crash) = &*shared;
+        let points = crash.points(i);
+        let mut store = LatestCheckpoint::default();
+        run_population_client(cfg, i, checkpoint_every, &points, &mut store)
+    });
+    let mut stats = RecoveryStats::default();
+    let clients = results
+        .into_iter()
+        .map(|(s, st)| {
+            stats.merge(st);
+            s
+        })
+        .collect();
+    (
+        PopulationSummary {
+            clients,
+            bucket_width: cfg.bucket_width,
+        },
+        stats,
+    )
+}
+
 /// Sequential reference replay — the parity baseline.
 pub fn replay_population_sequential(cfg: &PopulationConfig) -> PopulationSummary {
     PopulationSummary {
@@ -423,6 +628,26 @@ pub fn compare_herd(
         naive,
         jittered,
     }
+}
+
+/// The herd ablation with a **restart-mid-cooldown drill**: every client
+/// in both arms is snapshotted and restored through bytes at its first
+/// scheduled send at or after `restart_t` (pick a time inside the outage,
+/// when the fleet sits in backoff/cooldown). Because restores preserve
+/// the backoff-ladder position and the jitter-stream phase exactly, the
+/// jittered arm's re-sync spike stays suppressed — a naive restart that
+/// reseeded or reset the schedule would re-phase-lock the fleet.
+pub fn compare_herd_restarted(
+    pool: &mut WorkerPool,
+    cfg: &PopulationConfig,
+    window_periods: f64,
+    restart_t: f64,
+) -> HerdComparison {
+    let restarted = PopulationConfig {
+        restart_at: Some(restart_t),
+        ..cfg.clone()
+    };
+    compare_herd(pool, &restarted, window_periods)
 }
 
 #[cfg(test)]

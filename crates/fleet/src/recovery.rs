@@ -1,0 +1,403 @@
+//! Checkpointed fleet replay with deterministic crash injection: the
+//! fleet-scale half of the crash-safety story.
+//!
+//! [`crate::replay`] computes each clock as one uninterrupted pure
+//! function of `(template, seed)`. This module re-runs the same
+//! computation **interruptibly**: every `checkpoint_every` delivered
+//! packets the clock's full state is sealed into a snapshot and handed to
+//! a [`CheckpointStore`]; a deterministic [`CrashPlan`] then kills the
+//! worker at chosen packet counts, forcing a restore from the last
+//! checkpoint and a replay forward. The acceptance bar is the repo's
+//! standing determinism contract: **the crash-injected replay reproduces
+//! the uninterrupted digests bit for bit**, for every crash schedule, at
+//! every thread count (`tests/crash_recovery.rs`).
+//!
+//! ## Restore-or-degrade
+//!
+//! A checkpoint that fails to restore — truncated, bit-flipped, foreign,
+//! version-mismatched — yields a typed [`tscclock::SnapshotError`], never
+//! a panic. The worker then **degrades to a cold start**: it discards the
+//! warm state and replays the stream from packet zero. Slower, but the
+//! digest is still exact, because the stream itself is a deterministic
+//! function of the seed. [`RecoveryStats`] counts how often each path was
+//! taken so tests can assert the faults actually fired.
+//!
+//! ## Why the sub-batch capping is bit-safe
+//!
+//! Checkpoints and crash points land at arbitrary packet counts, so the
+//! ingest loop caps each batch at the next boundary. Batch geometry
+//! provably cannot change results — `replay::tests::
+//! ingest_batch_size_does_not_change_results` and the shard-geometry
+//! property test pin exactly that invariance.
+
+use crate::pool::WorkerPool;
+use crate::replay::{fold_output, ClockSummary, FleetConfig, FNV_OFFSET};
+use std::sync::Arc;
+use tsc_netsim::multi::splitmix64;
+use tsc_netsim::Scenario;
+use tscclock::{ClockConfig, ProcessOutput, TscNtpClock};
+
+/// Salt of the per-clock crash draws (distinct from the churn and jitter
+/// salts so crash schedules never correlate with client behavior).
+const CRASH_SALT: u64 = 0x5E_C0_7E_5A_FE_CA_11_0B;
+
+/// One durable per-clock checkpoint: the component snapshot blob plus the
+/// replay-progress sidecar a resume needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClockCheckpoint {
+    /// Packets delivered when the checkpoint was taken.
+    pub delivered: u64,
+    /// Output digest accumulated up to that point.
+    pub digest: u64,
+    /// The sealed snapshot envelope (clock or composite checkpoint).
+    pub blob: Vec<u8>,
+}
+
+/// Where checkpoints go and come back from. The replay engine only ever
+/// needs the most recent one; tests inject stores that corrupt blobs to
+/// exercise the restore-or-degrade path.
+pub trait CheckpointStore {
+    /// Persists a checkpoint (replacing any earlier one).
+    fn save(&mut self, ck: ClockCheckpoint);
+    /// The most recent checkpoint, if any survived.
+    fn last(&self) -> Option<&ClockCheckpoint>;
+}
+
+/// The default store: keeps the latest checkpoint in memory, faithfully.
+#[derive(Debug, Default)]
+pub struct LatestCheckpoint(Option<ClockCheckpoint>);
+
+impl CheckpointStore for LatestCheckpoint {
+    fn save(&mut self, ck: ClockCheckpoint) {
+        self.0 = Some(ck);
+    }
+    fn last(&self) -> Option<&ClockCheckpoint> {
+        self.0.as_ref()
+    }
+}
+
+/// What the recovery machinery did during one replay.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Checkpoints sealed and saved.
+    pub checkpoints: u64,
+    /// Crashes injected.
+    pub crashes: u64,
+    /// Crashes recovered from a checkpoint (warm restart).
+    pub warm_restores: u64,
+    /// Crashes where no checkpoint existed or the restore failed with a
+    /// typed error — the worker degraded to a cold start from packet zero.
+    pub cold_restarts: u64,
+    /// Packets regenerated (not re-processed) to fast-forward the stream
+    /// to the resume point after a restore.
+    pub replayed: u64,
+}
+
+impl RecoveryStats {
+    /// Elementwise accumulation (for fleet-level aggregation).
+    pub fn merge(&mut self, other: RecoveryStats) {
+        self.checkpoints += other.checkpoints;
+        self.crashes += other.crashes;
+        self.warm_restores += other.warm_restores;
+        self.cold_restarts += other.cold_restarts;
+        self.replayed += other.replayed;
+    }
+}
+
+/// Deterministic crash schedule: which clocks die, and at which delivered
+/// packet counts. Every draw is a pure splitmix64 function of
+/// `(seed, clock)`, so the schedule is identical at every thread count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashPlan {
+    /// Seed of the crash draws (independent of the fleet's `base_seed`).
+    pub seed: u64,
+    /// Fraction of clocks that crash at least once.
+    pub crash_frac: f64,
+    /// Crashes per crashing clock are drawn from `1..=max_crashes`.
+    pub max_crashes: u32,
+    /// Crash packet counts are drawn uniformly from `[1, horizon_packets]`;
+    /// points beyond the actual stream length simply never fire.
+    pub horizon_packets: u64,
+}
+
+impl CrashPlan {
+    /// No crashes at all.
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            crash_frac: 0.0,
+            max_crashes: 0,
+            horizon_packets: 0,
+        }
+    }
+
+    fn draw(&self, clock: usize, k: u64) -> u64 {
+        splitmix64(
+            self.seed
+                ^ CRASH_SALT
+                ^ (clock as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ k.wrapping_mul(0xD1B5_4A32_D192_ED03),
+        )
+    }
+
+    /// The sorted, deduplicated crash points of `clock` (delivered packet
+    /// counts at which the worker dies). Empty for clocks the plan spares.
+    pub fn points(&self, clock: usize) -> Vec<u64> {
+        if self.crash_frac <= 0.0 || self.max_crashes == 0 || self.horizon_packets == 0 {
+            return Vec::new();
+        }
+        let u0 = (self.draw(clock, 0) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if u0 >= self.crash_frac {
+            return Vec::new();
+        }
+        let n = 1 + (self.draw(clock, 1) % self.max_crashes as u64);
+        let mut pts: Vec<u64> = (0..n)
+            .map(|j| 1 + self.draw(clock, 2 + j) % self.horizon_packets)
+            .collect();
+        pts.sort_unstable();
+        pts.dedup();
+        pts
+    }
+}
+
+/// Replays one clock with periodic checkpointing and injected crashes.
+///
+/// Identical to [`crate::replay::replay_clock`] when `checkpoint_every`
+/// is 0 and `crash_points` is empty; with either active, the returned
+/// [`ClockSummary`] is still **bit-identical** to the uninterrupted
+/// replay — that equality is the whole point (`tests/crash_recovery.rs`).
+///
+/// `crash_points` must be strictly ascending (as [`CrashPlan::points`]
+/// returns); each point fires once, when `delivered` reaches it. A crash
+/// restores from `store.last()`; on any [`tscclock::SnapshotError`] —
+/// or no checkpoint at all — the worker cold-starts from packet zero.
+#[allow(clippy::too_many_arguments)]
+pub fn replay_clock_checkpointed(
+    fleet_index: usize,
+    template: &Scenario,
+    seed: u64,
+    clock_cfg: &ClockConfig,
+    ingest_batch: usize,
+    checkpoint_every: u64,
+    crash_points: &[u64],
+    store: &mut dyn CheckpointStore,
+) -> (ClockSummary, RecoveryStats) {
+    let batch = ingest_batch.max(1);
+    let mut stats = RecoveryStats::default();
+    let mut clock = TscNtpClock::new(*clock_cfg);
+    let mut stream = template.stream_with_seed(seed).raw();
+    let mut buf = Vec::with_capacity(batch);
+    let mut out: Vec<ProcessOutput> = Vec::with_capacity(batch);
+    let mut digest = FNV_OFFSET;
+    let mut delivered = 0u64;
+    let mut next_crash = 0usize;
+    loop {
+        // Cap the batch at the next checkpoint or crash boundary — batch
+        // geometry is proven not to change results.
+        let mut cap = batch as u64;
+        if checkpoint_every > 0 {
+            cap = cap.min(checkpoint_every - delivered % checkpoint_every);
+        }
+        if let Some(&cp) = crash_points.get(next_crash) {
+            if cp > delivered {
+                cap = cap.min(cp - delivered);
+            }
+        }
+        buf.clear();
+        stream.fill_batch(&mut buf, cap as usize);
+        if buf.is_empty() {
+            break;
+        }
+        delivered += buf.len() as u64;
+        out.clear();
+        clock.process_batch(&buf, &mut out);
+        for o in &out {
+            digest = fold_output(digest, o);
+        }
+        if checkpoint_every > 0 && delivered.is_multiple_of(checkpoint_every) {
+            store.save(ClockCheckpoint {
+                delivered,
+                digest,
+                blob: clock.snapshot(),
+            });
+            stats.checkpoints += 1;
+        }
+        while crash_points.get(next_crash) == Some(&delivered) {
+            next_crash += 1;
+            stats.crashes += 1;
+            // The worker dies here: everything in flight is lost. Recover
+            // from the last durable checkpoint, or degrade to cold.
+            let resume_from = match store.last().map(|ck| {
+                TscNtpClock::restore(&ck.blob).map(|c| (c, ck.delivered, ck.digest))
+            }) {
+                Some(Ok((c, d, h))) => {
+                    clock = c;
+                    digest = h;
+                    stats.warm_restores += 1;
+                    d
+                }
+                Some(Err(_)) | None => {
+                    // restore-or-degrade: a typed error (or no checkpoint)
+                    // costs warm state, never correctness
+                    clock = TscNtpClock::new(*clock_cfg);
+                    digest = FNV_OFFSET;
+                    stats.cold_restarts += 1;
+                    0
+                }
+            };
+            // Regenerate the stream and fast-forward to the resume point
+            // without feeding the clock (its state already covers them).
+            stream = template.stream_with_seed(seed).raw();
+            let mut skipped = 0u64;
+            while skipped < resume_from {
+                buf.clear();
+                let want = ((resume_from - skipped) as usize).min(batch);
+                stream.fill_batch(&mut buf, want);
+                if buf.is_empty() {
+                    break;
+                }
+                skipped += buf.len() as u64;
+            }
+            stats.replayed += skipped;
+            delivered = resume_from;
+        }
+    }
+    let status = clock.status();
+    (
+        ClockSummary {
+            clock: fleet_index,
+            delivered,
+            packets: status.packets,
+            p_hat: status.p_hat,
+            theta_hat: status.theta_hat,
+            digest,
+        },
+        stats,
+    )
+}
+
+/// Replays the whole fleet across `pool` with per-clock checkpointing and
+/// the given crash schedule. Summaries are in clock order and
+/// bit-identical to [`crate::replay::replay_fleet`] — for **any** crash
+/// schedule, at any thread count. The aggregated [`RecoveryStats`]
+/// witness that the schedule actually fired.
+pub fn replay_fleet_checkpointed(
+    pool: &mut WorkerPool,
+    cfg: &FleetConfig,
+    checkpoint_every: u64,
+    crash: &CrashPlan,
+) -> (Vec<ClockSummary>, RecoveryStats) {
+    let chunk = if cfg.chunk == 0 {
+        (cfg.clocks / (8 * pool.threads())).max(1)
+    } else {
+        cfg.chunk
+    };
+    let shared = Arc::new((cfg.clone(), *crash));
+    let results = pool.run(cfg.clocks, chunk, move |i| {
+        let (cfg, crash) = &*shared;
+        let points = crash.points(i);
+        let mut store = LatestCheckpoint::default();
+        replay_clock_checkpointed(
+            i,
+            &cfg.scenario,
+            cfg.base_seed.wrapping_add(i as u64),
+            &cfg.clock,
+            cfg.ingest_batch,
+            checkpoint_every,
+            &points,
+            &mut store,
+        )
+    });
+    let mut stats = RecoveryStats::default();
+    let summaries = results
+        .into_iter()
+        .map(|(s, st)| {
+            stats.merge(st);
+            s
+        })
+        .collect();
+    (summaries, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::replay_sequential;
+
+    fn small_cfg(clocks: usize) -> FleetConfig {
+        let scenario = Scenario::baseline(0)
+            .with_poll_period(256.0)
+            .with_duration(256.0 * 200.0);
+        FleetConfig::new(clocks, 42, scenario, ClockConfig::paper_defaults(256.0))
+    }
+
+    #[test]
+    fn crash_plan_is_deterministic_and_sorted() {
+        let plan = CrashPlan {
+            seed: 9,
+            crash_frac: 0.7,
+            max_crashes: 4,
+            horizon_packets: 500,
+        };
+        let mut crashed = 0;
+        for i in 0..100 {
+            let a = plan.points(i);
+            assert_eq!(a, plan.points(i), "clock {i}");
+            if !a.is_empty() {
+                crashed += 1;
+                assert!(a.windows(2).all(|w| w[0] < w[1]), "unsorted: {a:?}");
+                assert!(a.iter().all(|&p| (1..=500).contains(&p)));
+                assert!(a.len() <= 4);
+            }
+        }
+        assert!((45..95).contains(&crashed), "{crashed}/100 clocks crashed");
+        assert!(CrashPlan::none().points(3).is_empty());
+    }
+
+    #[test]
+    fn checkpointed_replay_without_faults_matches_plain() {
+        let cfg = small_cfg(3);
+        let plain = replay_sequential(&cfg);
+        for every in [0u64, 1, 17, 1000] {
+            for (i, want) in plain.iter().enumerate() {
+                let mut store = LatestCheckpoint::default();
+                let (got, stats) = replay_clock_checkpointed(
+                    i,
+                    &cfg.scenario,
+                    cfg.base_seed.wrapping_add(i as u64),
+                    &cfg.clock,
+                    cfg.ingest_batch,
+                    every,
+                    &[],
+                    &mut store,
+                );
+                assert_eq!(&got, want, "clock {i}, every {every}");
+                assert_eq!(stats.crashes, 0);
+                if every > 0 {
+                    assert!(stats.checkpoints > 0 || want.delivered < every);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crash_without_any_checkpoint_cold_starts_and_stays_exact() {
+        let cfg = small_cfg(1);
+        let want = &replay_sequential(&cfg)[0];
+        let mut store = LatestCheckpoint::default();
+        let (got, stats) = replay_clock_checkpointed(
+            0,
+            &cfg.scenario,
+            cfg.base_seed,
+            &cfg.clock,
+            cfg.ingest_batch,
+            0, // checkpointing disabled: the crash has nothing to restore
+            &[50, 120],
+            &mut store,
+        );
+        assert_eq!(&got, want);
+        assert_eq!(stats.crashes, 2);
+        assert_eq!(stats.cold_restarts, 2);
+        assert_eq!(stats.warm_restores, 0);
+    }
+}

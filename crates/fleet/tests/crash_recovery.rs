@@ -1,0 +1,256 @@
+//! Crash-injected replay parity: checkpointed fleet and population
+//! replays must reproduce the uninterrupted digests bit for bit, for any
+//! crash schedule, at every thread count — and a checkpoint that fails to
+//! restore must degrade to a cold start (typed error, never a panic,
+//! never a silently wrong clock).
+//!
+//! This is the fleet-scale acceptance bar of the snapshot PR: snapshots
+//! are only trustworthy if *resume ≡ uninterrupted* survives being
+//! exercised by an adversarial schedule, not just a hand-picked point.
+
+use tsc_fleet::{
+    compare_herd, compare_herd_restarted, replay_population_checkpointed,
+    replay_population_client_checkpointed, replay_population_sequential, replay_sequential,
+    replay_fleet_checkpointed, CheckpointStore, ChurnPlan, ClockCheckpoint, CrashPlan,
+    FleetConfig, LatestCheckpoint, PopulationConfig, WorkerPool,
+};
+use tsc_netsim::{LevelShift, ProfileMix, Scenario, ServerKind};
+use tscclock::ClockConfig;
+
+/// Thread counts to exercise: env `FLEET_PARITY_THREADS` (e.g. "1,4"), or
+/// {1, 2, 4, 8} by default — same contract as `tests/parity.rs`.
+fn parity_thread_counts() -> Vec<usize> {
+    match std::env::var("FLEET_PARITY_THREADS") {
+        Ok(s) => s
+            .split(',')
+            .map(|t| t.trim().parse().expect("FLEET_PARITY_THREADS: bad count"))
+            .collect(),
+        Err(_) => vec![1, 2, 4, 8],
+    }
+}
+
+/// Same eventful scenario as the parity suite: loss, an outage, a level
+/// shift — so crashes land on clocks whose state is genuinely nontrivial
+/// (mid-warmup, mid-outage, post-shift rebuild).
+fn eventful_fleet(clocks: usize) -> FleetConfig {
+    let scenario = Scenario::baseline(0)
+        .with_poll_period(64.0)
+        .with_duration(64.0 * 600.0)
+        .with_server(ServerKind::Int)
+        .with_outage(64.0 * 200.0, 64.0 * 230.0)
+        .with_shift(LevelShift::forward_only(64.0 * 350.0, None, 0.9e-3));
+    let mut cfg = FleetConfig::new(clocks, 7, scenario, ClockConfig::paper_defaults(64.0));
+    cfg.ingest_batch = 97; // not a divisor of the stream length or cadence
+    cfg
+}
+
+/// A crash schedule that actually bites most of the fleet, with points
+/// spread across the whole 600-packet stream (including before the first
+/// checkpoint and inside the outage window).
+fn biting_crash_plan() -> CrashPlan {
+    CrashPlan {
+        seed: 5,
+        crash_frac: 0.75,
+        max_crashes: 3,
+        horizon_packets: 560,
+    }
+}
+
+#[test]
+fn crash_injected_fleet_replay_reproduces_uninterrupted_digests() {
+    let cfg = eventful_fleet(24);
+    let expected = replay_sequential(&cfg);
+    let crash = biting_crash_plan();
+    // the schedule is nontrivial: most clocks crash at least once
+    let crashing = (0..24).filter(|&i| !crash.points(i).is_empty()).count();
+    assert!(crashing >= 12, "only {crashing}/24 clocks scheduled to crash");
+    for threads in parity_thread_counts() {
+        let mut pool = WorkerPool::new(threads);
+        let (got, stats) = replay_fleet_checkpointed(&mut pool, &cfg, 64, &crash);
+        assert_eq!(got.len(), expected.len(), "threads {threads}");
+        for (g, e) in got.iter().zip(&expected) {
+            assert_eq!(
+                g.digest, e.digest,
+                "clock {} diverged under crashes at {} threads",
+                e.clock, threads
+            );
+            assert_eq!(g, e, "summary mismatch at {threads} threads");
+        }
+        // the faults fired and warm recovery was actually exercised
+        assert!(stats.crashes >= crashing as u64, "stats: {stats:?}");
+        assert!(stats.checkpoints > 0 && stats.warm_restores > 0, "stats: {stats:?}");
+    }
+}
+
+#[test]
+fn checkpoint_cadence_cannot_change_results() {
+    let cfg = eventful_fleet(8);
+    let expected = replay_sequential(&cfg);
+    let crash = biting_crash_plan();
+    let mut pool = WorkerPool::new(3);
+    for every in [1u64, 17, 64, 100_000] {
+        let (got, _) = replay_fleet_checkpointed(&mut pool, &cfg, every, &crash);
+        assert_eq!(got, expected, "cadence {every}");
+    }
+}
+
+/// A store that corrupts every blob it is given — the restore must fail
+/// with a typed error and the worker must degrade to a cold start.
+#[derive(Default)]
+struct CorruptingStore {
+    inner: LatestCheckpoint,
+    mode: u8, // 0 = bit flip, 1 = truncate
+}
+
+impl CheckpointStore for CorruptingStore {
+    fn save(&mut self, mut ck: ClockCheckpoint) {
+        match self.mode {
+            0 => {
+                let mid = ck.blob.len() / 2;
+                ck.blob[mid] ^= 0x10;
+            }
+            _ => ck.blob.truncate(ck.blob.len() / 2),
+        }
+        self.inner.save(ck);
+    }
+    fn last(&self) -> Option<&ClockCheckpoint> {
+        self.inner.last()
+    }
+}
+
+#[test]
+fn corrupted_checkpoints_degrade_to_cold_starts_and_stay_exact() {
+    let cfg = eventful_fleet(2);
+    let expected = replay_sequential(&cfg);
+    for mode in [0u8, 1] {
+        for (i, want) in expected.iter().enumerate() {
+            let mut store = CorruptingStore { mode, ..Default::default() };
+            let (got, stats) = tsc_fleet::replay_clock_checkpointed(
+                i,
+                &cfg.scenario,
+                cfg.base_seed.wrapping_add(i as u64),
+                &cfg.clock,
+                cfg.ingest_batch,
+                50,
+                &[130, 410],
+                &mut store,
+            );
+            // every restore failed cleanly; correctness survived anyway
+            assert_eq!(&got, want, "clock {i}, corruption mode {mode}");
+            assert_eq!(stats.crashes, 2, "mode {mode}");
+            assert_eq!(stats.cold_restarts, 2, "mode {mode}");
+            assert_eq!(stats.warm_restores, 0, "mode {mode}");
+        }
+    }
+}
+
+/// The eventful lifecycle population from the parity suite: profiles,
+/// outage, level shift, join/leave churn.
+fn eventful_population(clients: usize) -> PopulationConfig {
+    let scenario = Scenario::baseline(0)
+        .with_poll_period(16.0)
+        .with_duration(3.0 * 3600.0)
+        .with_outage(3600.0, 3600.0 + 900.0)
+        .with_shift(LevelShift::forward_only(2.0 * 3600.0, None, 0.9e-3));
+    let mut cfg = PopulationConfig::new(clients, 31, scenario, ClockConfig::paper_defaults(16.0));
+    cfg.churn = ChurnPlan {
+        join_frac: 0.3,
+        join_window: (600.0, 1800.0),
+        leave_frac: 0.2,
+        leave_window: (2.0 * 3600.0, 2.5 * 3600.0),
+    };
+    cfg
+}
+
+#[test]
+fn crash_injected_population_replay_reproduces_uninterrupted_digests() {
+    let cfg = eventful_population(12);
+    let expected = replay_population_sequential(&cfg);
+    let crash = CrashPlan {
+        seed: 11,
+        crash_frac: 0.7,
+        max_crashes: 3,
+        horizon_packets: 450, // request counts; clients send ~600 requests
+    };
+    let crashing = (0..12).filter(|&i| !crash.points(i).is_empty()).count();
+    assert!(crashing >= 5, "only {crashing}/12 clients scheduled to crash");
+    for threads in parity_thread_counts() {
+        let mut pool = WorkerPool::new(threads);
+        let (got, stats) = replay_population_checkpointed(&mut pool, &cfg, 40, &crash);
+        assert_eq!(got.clients.len(), expected.clients.len(), "threads {threads}");
+        for (g, e) in got.clients.iter().zip(&expected.clients) {
+            assert_eq!(
+                g.digest, e.digest,
+                "client {} diverged under crashes at {} threads",
+                e.client, threads
+            );
+            assert_eq!(g, e, "summary mismatch at {threads} threads");
+        }
+        assert_eq!(got.digest(), expected.digest(), "threads {threads}");
+        assert!(stats.crashes >= crashing as u64, "stats: {stats:?}");
+        assert!(stats.warm_restores > 0, "warm path never exercised: {stats:?}");
+    }
+}
+
+#[test]
+fn corrupted_population_checkpoints_cold_restart_and_stay_exact() {
+    let cfg = eventful_population(3);
+    let expected = replay_population_sequential(&cfg);
+    for (i, want) in expected.clients.iter().enumerate() {
+        let mut store = CorruptingStore { mode: 0, ..Default::default() };
+        let (got, stats) =
+            replay_population_client_checkpointed(&cfg, i, 30, &[90, 250], &mut store);
+        assert_eq!(&got, want, "client {i}");
+        assert_eq!(stats.crashes, 2);
+        assert_eq!(stats.cold_restarts, 2);
+        assert_eq!(stats.warm_restores, 0);
+    }
+}
+
+/// The PR 6 herd scenario, verbatim: a synced fleet, a 10-minute outage,
+/// naive fixed-interval retry vs jittered exponential backoff.
+fn herd_cfg(clients: usize) -> PopulationConfig {
+    let scenario = Scenario::baseline(0)
+        .with_poll_period(16.0)
+        .with_duration(2.0 * 3600.0)
+        .with_outage(3600.0, 3600.0 + 600.0);
+    let mut cfg = PopulationConfig::new(clients, 5, scenario, ClockConfig::paper_defaults(16.0));
+    cfg.mix = ProfileMix::single(tsc_netsim::PathProfile::Wifi);
+    cfg.naive_retry = 2.0;
+    cfg
+}
+
+/// The restart-mid-cooldown arm of the herd ablation: every client is
+/// snapshotted and restored through bytes while the fleet sits in
+/// backoff/cooldown during the outage. Because restores preserve the
+/// backoff-ladder position and the jitter-stream phase, the restart is a
+/// digest no-op and the post-outage spike stays capped ≥ 3× — a restart
+/// that reseeded the jitter RNG or reset the ladder would re-phase-lock
+/// the fleet and fail both assertions.
+#[test]
+fn restart_mid_cooldown_keeps_the_herd_suppressed() {
+    let cfg = herd_cfg(48);
+    let mut pool = WorkerPool::new(4);
+    let restart_t = 3600.0 + 300.0; // mid-outage: deepest into the ladder
+    let restarted = compare_herd_restarted(&mut pool, &cfg, 16.0, restart_t);
+    assert!(
+        restarted.naive_peak > 0,
+        "naive arm sent nothing post-outage — scenario broken"
+    );
+    assert!(
+        restarted.ratio() >= 3.0,
+        "restart mid-cooldown must not unleash the herd: naive {} vs jittered {} (ratio {:.2})",
+        restarted.naive_peak,
+        restarted.jittered_peak,
+        restarted.ratio()
+    );
+    // stronger: the restart drill is a bit-exact no-op on both arms
+    let plain = compare_herd(&mut pool, &cfg, 16.0);
+    assert_eq!(
+        restarted.jittered.digest(),
+        plain.jittered.digest(),
+        "restart mid-cooldown changed the jittered arm's replay"
+    );
+    assert_eq!(restarted.naive.digest(), plain.naive.digest());
+    assert_eq!(restarted.jittered_peak, plain.jittered_peak);
+}

@@ -16,6 +16,8 @@
 //!    survivors agree bit-for-bit (the K-identical-servers anchor).
 
 use serde::{Deserialize, Serialize};
+use tscclock::snapshot::{SnapshotReader, SnapshotWriter};
+use tscclock::SnapshotError;
 
 /// Tunables of the combiner.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -49,6 +51,24 @@ impl CombinerConfig {
     /// A server's disagreement tolerance given its point-error bound.
     pub fn tolerance(&self, point_error_bound: f64) -> f64 {
         self.tol_mult * point_error_bound + self.tol_floor
+    }
+
+    /// Serializes the config (snapshot payload, no envelope).
+    pub fn save_state(&self, w: &mut SnapshotWriter) {
+        w.put_f64(self.tol_mult);
+        w.put_f64(self.tol_floor);
+    }
+
+    /// Deserializes and re-validates a config written by
+    /// [`CombinerConfig::save_state`].
+    pub fn load_state(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let cfg = Self {
+            tol_mult: r.get_f64()?,
+            tol_floor: r.get_f64()?,
+        };
+        cfg.validate()
+            .map_err(|_| SnapshotError::Invalid("combiner config fails validation"))?;
+        Ok(cfg)
     }
 }
 

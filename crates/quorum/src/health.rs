@@ -18,6 +18,8 @@
 //! to a tight tolerance while a noisy long-path server gets a wider one.
 
 use serde::{Deserialize, Serialize};
+use tscclock::snapshot::{SnapshotReader, SnapshotWriter};
+use tscclock::SnapshotError;
 
 /// Tunables of the health model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -117,6 +119,44 @@ impl HealthConfig {
             return Err("quality_floor must exceed demote_below (congestion must not demote)".into());
         }
         Ok(())
+    }
+
+    /// Serializes the config (snapshot payload, no envelope).
+    pub fn save_state(&self, w: &mut SnapshotWriter) {
+        w.put_f64(self.alpha);
+        w.put_f64(self.demote_below);
+        w.put_f64(self.readmit_above);
+        w.put_usize(self.demote_rounds);
+        w.put_usize(self.readmit_rounds);
+        w.put_f64(self.miss_score);
+        w.put_f64(self.shift_penalty);
+        w.put_f64(self.quality_floor);
+        w.put_f64(self.pe_scale);
+        w.put_f64(self.pe_alpha);
+        w.put_f64(self.pe_alpha_up);
+        w.put_f64(self.pe_cap);
+    }
+
+    /// Deserializes and re-validates a config written by
+    /// [`HealthConfig::save_state`].
+    pub fn load_state(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let cfg = Self {
+            alpha: r.get_f64()?,
+            demote_below: r.get_f64()?,
+            readmit_above: r.get_f64()?,
+            demote_rounds: r.get_usize()?,
+            readmit_rounds: r.get_usize()?,
+            miss_score: r.get_f64()?,
+            shift_penalty: r.get_f64()?,
+            quality_floor: r.get_f64()?,
+            pe_scale: r.get_f64()?,
+            pe_alpha: r.get_f64()?,
+            pe_alpha_up: r.get_f64()?,
+            pe_cap: r.get_f64()?,
+        };
+        cfg.validate()
+            .map_err(|_| SnapshotError::Invalid("health config fails validation"))?;
+        Ok(cfg)
     }
 }
 
@@ -245,6 +285,31 @@ impl HealthTracker {
             self.below_streak = 0;
             self.above_streak = 0;
         }
+    }
+
+    /// Serializes the tracker (snapshot payload, no envelope). `pe_ema`'s
+    /// NaN "no history yet" sentinel round-trips via the raw bit pattern.
+    pub fn save_state(&self, w: &mut SnapshotWriter) {
+        w.put_f64(self.trust);
+        w.put_f64(self.pe_ema);
+        w.put_bool(self.demoted);
+        w.put_usize(self.below_streak);
+        w.put_usize(self.above_streak);
+    }
+
+    /// Deserializes a tracker written by [`HealthTracker::save_state`].
+    pub fn load_state(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let t = Self {
+            trust: r.get_f64()?,
+            pe_ema: r.get_f64()?,
+            demoted: r.get_bool()?,
+            below_streak: r.get_usize()?,
+            above_streak: r.get_usize()?,
+        };
+        if !(0.0..=1.0).contains(&t.trust) {
+            return Err(SnapshotError::Invalid("trust score out of [0, 1]"));
+        }
+        Ok(t)
     }
 }
 

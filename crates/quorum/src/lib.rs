@@ -51,7 +51,8 @@ pub mod health;
 pub use combine::{Candidate, Combination, CombinerConfig};
 pub use health::{HealthConfig, HealthTracker, RoundObservation};
 
-use tscclock::{ClockConfig, ClockEvent, RawExchange, TscNtpClock};
+use tscclock::snapshot::{self, SnapshotReader, SnapshotWriter};
+use tscclock::{ClockConfig, ClockEvent, RawExchange, SnapshotError, TscNtpClock};
 
 /// Maximum quorum size (per-server flags live in `u32` masks). Must stay
 /// equal to `tsc_netsim::MAX_SERVERS` — this crate deliberately does not
@@ -296,6 +297,88 @@ impl QuorumClock {
         }
     }
 
+    /// Serializes the full quorum state — config, every member clock and
+    /// its health tracker, the round counter and the last combination —
+    /// into a versioned, checksummed snapshot envelope
+    /// ([`tscclock::snapshot::kind::QUORUM`]).
+    ///
+    /// [`QuorumClock::restore`] of the result resumes **bit-identically**:
+    /// feeding the restored quorum the same remaining rounds produces the
+    /// same [`QuorumOutput`] bits as the uninterrupted run. Per-round
+    /// scratch (`candidates`, the combiner sort buffer) is rebuilt empty —
+    /// it is dead between rounds.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        self.cfg.clock.save_state(&mut w);
+        self.cfg.health.save_state(&mut w);
+        self.cfg.combiner.save_state(&mut w);
+        w.put_usize(self.servers.len());
+        for s in &self.servers {
+            s.clock.save_state(&mut w);
+            s.health.save_state(&mut w);
+        }
+        w.put_u64(self.round);
+        match self.last {
+            Some(c) => {
+                w.put_u8(1);
+                w.put_u64(c.tsc_ref);
+                w.put_f64(c.utc_ref);
+                w.put_f64(c.p_hat);
+            }
+            None => w.put_u8(0),
+        }
+        w.seal(snapshot::kind::QUORUM)
+    }
+
+    /// Restores a quorum from a [`QuorumClock::snapshot`] blob.
+    ///
+    /// Every corruption — truncation, bit flips, foreign or
+    /// version-mismatched envelopes, semantically inconsistent state —
+    /// yields a typed [`SnapshotError`]; callers degrade to a cold
+    /// [`QuorumClock::new`] instead of running a wrong clock.
+    pub fn restore(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let payload = snapshot::open_envelope(bytes, snapshot::kind::QUORUM)?;
+        let mut r = SnapshotReader::new(payload);
+        let clock_cfg = ClockConfig::load_state(&mut r)?;
+        let health_cfg = HealthConfig::load_state(&mut r)?;
+        let combiner_cfg = CombinerConfig::load_state(&mut r)?;
+        let cfg = QuorumConfig {
+            clock: clock_cfg,
+            health: health_cfg,
+            combiner: combiner_cfg,
+        };
+        let k = r.get_usize()?;
+        if !(1..=MAX_SERVERS).contains(&k) {
+            return Err(SnapshotError::Invalid("quorum size out of range"));
+        }
+        let mut servers = Vec::with_capacity(k);
+        for _ in 0..k {
+            servers.push(ServerSlot {
+                clock: TscNtpClock::load_state(&mut r)?,
+                health: HealthTracker::load_state(&mut r)?,
+            });
+        }
+        let round = r.get_u64()?;
+        let last = match r.get_u8()? {
+            0 => None,
+            1 => Some(Combined {
+                tsc_ref: r.get_u64()?,
+                utc_ref: r.get_f64()?,
+                p_hat: r.get_f64()?,
+            }),
+            _ => return Err(SnapshotError::Invalid("option tag not 0/1")),
+        };
+        r.finish()?;
+        Ok(Self {
+            cfg,
+            servers,
+            round,
+            last,
+            candidates: Vec::with_capacity(k),
+            scratch: Vec::with_capacity(k),
+        })
+    }
+
     /// Batched ingest: feeds `rounds.len() / K` consecutive rounds — a
     /// flattened row-major slice, `K` entries per round — appending one
     /// [`QuorumOutput`] per round to `out`; returns how many were
@@ -473,7 +556,7 @@ mod tests {
                 let asym = if i > 250 { 2e-3 } else { 0.0 };
                 [
                     Some(ex(t, 0.0)),
-                    (i % 11 != 0).then_some(ex(t, 0.0)),
+                    (!i.is_multiple_of(11)).then_some(ex(t, 0.0)),
                     Some(ex(t, asym)),
                 ]
             })
@@ -502,6 +585,76 @@ mod tests {
                 assert_eq!(batched.demoted(s), seq.demoted(s));
             }
         }
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        // Drive a 3-server quorum through losses and a developing liar,
+        // snapshot mid-fault, restore, and replay the rest on both: every
+        // output and every health figure must match bit-for-bit.
+        let k = 3usize;
+        let round_at = |i: u64| {
+            let t = i as f64 * 16.0;
+            let asym = if i > 250 { 2e-3 } else { 0.0 };
+            [
+                Some(ex(t, 0.0)),
+                (!i.is_multiple_of(11)).then_some(ex(t, 0.0)),
+                Some(ex(t, asym)),
+            ]
+        };
+        let mut live = quorum(k);
+        for i in 0..300u64 {
+            live.process_round(&round_at(i));
+        }
+        let blob = live.snapshot();
+        let mut warm = QuorumClock::restore(&blob).expect("clean snapshot must restore");
+        assert_eq!(warm.k(), k);
+        for i in 300..600u64 {
+            let a = live.process_round(&round_at(i));
+            let b = warm.process_round(&round_at(i));
+            assert_eq!(a.round, b.round, "round {i}");
+            assert_eq!(a.delivered_mask, b.delivered_mask);
+            assert_eq!(a.candidate_mask, b.candidate_mask);
+            assert_eq!(a.excluded_mask, b.excluded_mask, "round {i}");
+            assert_eq!(a.demoted_mask, b.demoted_mask, "round {i}");
+            assert_eq!(a.combined, b.combined);
+            assert_eq!(a.tsc_ref, b.tsc_ref);
+            assert_eq!(a.utc_ref.to_bits(), b.utc_ref.to_bits(), "round {i}");
+            assert_eq!(a.p_hat.to_bits(), b.p_hat.to_bits(), "round {i}");
+        }
+        for s in 0..k {
+            assert_eq!(live.trust(s).to_bits(), warm.trust(s).to_bits());
+            assert_eq!(live.demoted(s), warm.demoted(s));
+            assert_eq!(
+                live.point_error_bound(s).to_bits(),
+                warm.point_error_bound(s).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_quorum_snapshot_is_a_typed_error() {
+        let mut q = quorum(2);
+        for i in 0..150u64 {
+            let e = ex(i as f64 * 16.0, 0.0);
+            q.process_round(&[Some(e), Some(e)]);
+        }
+        let blob = q.snapshot();
+        assert!(QuorumClock::restore(&blob).is_ok());
+        for cut in (0..blob.len()).step_by(17) {
+            assert!(QuorumClock::restore(&blob[..cut]).is_err(), "cut {cut}");
+        }
+        for i in (0..blob.len()).step_by(29) {
+            let mut m = blob.clone();
+            m[i] ^= 0x04;
+            assert!(QuorumClock::restore(&m).is_err(), "flip at {i}");
+        }
+        // a clock envelope is not a quorum envelope
+        let clock_blob = q.server(0).snapshot();
+        assert!(matches!(
+            QuorumClock::restore(&clock_blob),
+            Err(SnapshotError::KindMismatch { .. })
+        ));
     }
 
     #[test]

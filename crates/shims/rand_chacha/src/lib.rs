@@ -18,8 +18,10 @@
 
 use rand::{RngCore, SeedableRng};
 
-/// Words buffered per refill: 8 ChaCha blocks.
-const BUF_WORDS: usize = 128;
+/// Words buffered per refill: 8 ChaCha blocks. Public so snapshot
+/// restores can bounds-check an exported `idx` before
+/// [`ChaCha12Rng::from_state`] (which panics on out-of-range values).
+pub const BUF_WORDS: usize = 128;
 
 /// ChaCha with 12 rounds, keyed by a 32-byte seed, zero nonce.
 #[derive(Debug, Clone)]
@@ -221,6 +223,43 @@ impl ChaCha12Rng {
         self.force_scalar = on;
     }
 
+    /// Exports the full stream position as `(key, counter, idx)`.
+    ///
+    /// The buffered keystream is *derived* state (blocks `counter-8 ..
+    /// counter` whenever `idx < BUF_WORDS`), so these three values pin the
+    /// generator exactly: [`ChaCha12Rng::from_state`] rebuilds an RNG that
+    /// continues the keystream word-for-word. This is the snapshot hook
+    /// the lifecycle clients use to persist their jitter stream across a
+    /// warm restart.
+    pub fn export_state(&self) -> ([u32; 8], u64, usize) {
+        (self.key, self.counter, self.idx)
+    }
+
+    /// Rebuilds an RNG from an [`ChaCha12Rng::export_state`] triple; the
+    /// restored stream is bit-identical to the original from the exported
+    /// position onward.
+    ///
+    /// # Panics
+    /// Panics when `idx > BUF_WORDS` (not a value `export_state` emits).
+    pub fn from_state(key: [u32; 8], counter: u64, idx: usize) -> Self {
+        assert!(idx <= BUF_WORDS, "ChaCha12Rng state idx out of range");
+        let mut rng = Self {
+            key,
+            counter,
+            buf: [0; BUF_WORDS],
+            idx: BUF_WORDS,
+            force_scalar: false,
+        };
+        if idx < BUF_WORDS {
+            // The live buffer holds blocks `counter-8 .. counter`:
+            // regenerate it, which re-advances the counter to `counter`.
+            rng.counter = counter.wrapping_sub(8);
+            rng.refill();
+            rng.idx = idx;
+        }
+        rng
+    }
+
     /// Fills `dest` with consecutive keystream `u64`s — exactly the values
     /// `next_u64` would return, but with the buffer bookkeeping amortized
     /// over the whole slice (the batched-keystream hook the oscillator's
@@ -388,6 +427,28 @@ mod tests {
             }
             // streams stay aligned afterwards
             assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    /// `export_state`/`from_state` must resume the keystream exactly, from
+    /// every buffer position (fresh, mid-buffer, exhausted) and across
+    /// refill boundaries.
+    #[test]
+    fn exported_state_resumes_the_keystream_exactly() {
+        for drain in [0usize, 1, 17, 127, 128, 129, 300] {
+            let mut orig = ChaCha12Rng::seed_from_u64(77);
+            for _ in 0..drain {
+                orig.next_u32();
+            }
+            let (key, counter, idx) = orig.export_state();
+            let mut restored = ChaCha12Rng::from_state(key, counter, idx);
+            for i in 0..512 {
+                assert_eq!(
+                    orig.next_u32(),
+                    restored.next_u32(),
+                    "drain {drain}: diverged at word {i}"
+                );
+            }
         }
     }
 
