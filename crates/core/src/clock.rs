@@ -26,6 +26,7 @@ use crate::offset::{OffsetEstimator, OffsetEvent, OffsetPend};
 use crate::rate::{GlobalRate, RateEvent, RatePrep};
 use crate::shift::ShiftDetector;
 use serde::{Deserialize, Serialize};
+use tsc_telemetry as telemetry;
 
 /// Everything notable that happened while processing one packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -386,6 +387,8 @@ impl TscNtpClock {
             let oldest = self.history.first().map(|r| r.idx).unwrap_or(0);
             let candidate = self.find_j_candidate(p_before);
             self.rate.replace_j_if_dropped(oldest, candidate);
+            telemetry::add(telemetry::Ctr::WindowSlides, 1);
+            telemetry::event(telemetry::EventKind::WindowSlid, idx, oldest, 0);
         }
         // Just pushed: the stored baseline is current by construction, so
         // the unresolved view is exact and skips a resolution.
@@ -450,7 +453,10 @@ impl TscNtpClock {
                     self.c_bar += record.tf_c * (p_before - p_after);
                 }
             }
-            RateEvent::SanityRejected => events.insert(ClockEvent::RateSanity),
+            RateEvent::SanityRejected => {
+                events.insert(ClockEvent::RateSanity);
+                telemetry::add(telemetry::Ctr::RateSanity, 1);
+            }
             RateEvent::RejectedQuality => {}
         }
         let p_hat = self.rate.p_hat().expect("rate exists");
@@ -462,6 +468,8 @@ impl TscNtpClock {
             self.history.rtt_min_c(),
             p_hat,
         ) {
+            telemetry::add(telemetry::Ctr::UpwardShifts, 1);
+            telemetry::event(telemetry::EventKind::UpwardShift, idx, shift.start_idx, 0);
             self.history
                 .apply_upward_shift(shift.new_min_c, shift.start_idx);
             self.shift.reset();
@@ -535,9 +543,13 @@ impl TscNtpClock {
         let StepMid { pend, mut out } = mid;
         let (theta_hat, off_ev) = self.offset.process_finish(pend, div);
         match off_ev {
-            OffsetEvent::SanityDuplicated => out.events.insert(ClockEvent::OffsetSanity),
+            OffsetEvent::SanityDuplicated => {
+                out.events.insert(ClockEvent::OffsetSanity);
+                telemetry::add(telemetry::Ctr::OffsetSanity, 1);
+            }
             OffsetEvent::PoorQualityFallback | OffsetEvent::GapBlend => {
-                out.events.insert(ClockEvent::OffsetFallback)
+                out.events.insert(ClockEvent::OffsetFallback);
+                telemetry::add(telemetry::Ctr::OffsetFallbacks, 1);
             }
             _ => {}
         }
@@ -691,9 +703,13 @@ impl TscNtpClock {
     /// subsequent packet (see `crates/core/README.md` and the
     /// `snapshot_resume` differential suite).
     pub fn snapshot(&self) -> Vec<u8> {
+        let tm = telemetry::StageTimer::start(telemetry::Hist::SealNs);
         let mut w = crate::snapshot::SnapshotWriter::new();
         self.save_state(&mut w);
-        w.seal(crate::snapshot::kind::CLOCK)
+        let blob = w.seal(crate::snapshot::kind::CLOCK);
+        tm.stop();
+        telemetry::add(telemetry::Ctr::SnapshotSeals, 1);
+        blob
     }
 
     /// Restores a clock from a [`TscNtpClock::snapshot`] blob.
@@ -704,11 +720,20 @@ impl TscNtpClock {
     /// untrusted bytes. Callers are expected to fall back to a cold
     /// [`TscNtpClock::new`] on error (restore-or-degrade).
     pub fn restore(bytes: &[u8]) -> Result<Self, crate::SnapshotError> {
-        let payload = crate::snapshot::open_envelope(bytes, crate::snapshot::kind::CLOCK)?;
-        let mut r = crate::snapshot::SnapshotReader::new(payload);
-        let clock = Self::load_state(&mut r)?;
-        r.finish()?;
-        Ok(clock)
+        let tm = telemetry::StageTimer::start(telemetry::Hist::RestoreNs);
+        let result = (|| {
+            let payload = crate::snapshot::open_envelope(bytes, crate::snapshot::kind::CLOCK)?;
+            let mut r = crate::snapshot::SnapshotReader::new(payload);
+            let clock = Self::load_state(&mut r)?;
+            r.finish()?;
+            Ok(clock)
+        })();
+        tm.stop();
+        match &result {
+            Ok(_) => telemetry::add(telemetry::Ctr::SnapshotRestores, 1),
+            Err(e) => crate::snapshot::record_restore_failure(e, bytes.len()),
+        }
+        result
     }
 }
 

@@ -324,6 +324,8 @@ impl FactoredWindow {
         cadence: u32,
         kappa_buf: &mut Vec<f64>,
     ) {
+        tsc_telemetry::add(tsc_telemetry::Ctr::OffsetRebuilds, 1);
+        tsc_telemetry::event(tsc_telemetry::EventKind::OffsetRebuild, k.idx, window_n as u64, 0);
         if self.cap < window_n.next_power_of_two() {
             self.cap = window_n.next_power_of_two().max(8);
             self.ring = vec![Slot::default(); self.cap];

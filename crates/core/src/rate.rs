@@ -442,6 +442,13 @@ impl GlobalRate {
             if self.warmup.len() >= self.warmup_packets {
                 // leaving warm-up: §5.2 initialisation semantics now apply,
                 // with (j, i) the best-quality pair found so far.
+                tsc_telemetry::add(tsc_telemetry::Ctr::WarmupExits, 1);
+                tsc_telemetry::event(
+                    tsc_telemetry::EventKind::WarmupExit,
+                    self.n_seen,
+                    self.warmup.len() as u64,
+                    0,
+                );
                 self.warmup.clear();
                 self.warmup.shrink_to_fit();
             }

@@ -122,6 +122,11 @@ impl ShiftDetector {
                 start_idx: idx.saturating_sub(ts - 1),
             })
         } else {
+            // The full window was evaluated and the §6.2 decision rule
+            // said no: every retained sample exceeded the level but the
+            // window minimum's excess did not clear the threshold.
+            tsc_telemetry::add(tsc_telemetry::Ctr::ShiftWindowsRejected, 1);
+            tsc_telemetry::event(tsc_telemetry::EventKind::ShiftWindowRejected, idx, ts, 0);
             None
         }
     }

@@ -131,6 +131,36 @@ impl fmt::Display for SnapshotError {
 
 impl std::error::Error for SnapshotError {}
 
+impl SnapshotError {
+    /// Numeric code for the flight recorder (see
+    /// [`tsc_telemetry::err_code`]): the recorder carries POD words, so
+    /// the typed error travels as a code and the dump names the variant.
+    pub fn telemetry_code(&self) -> u64 {
+        match self {
+            SnapshotError::BadMagic => tsc_telemetry::err_code::BAD_MAGIC,
+            SnapshotError::Truncated => tsc_telemetry::err_code::TRUNCATED,
+            SnapshotError::Checksum => tsc_telemetry::err_code::CHECKSUM,
+            SnapshotError::VersionMismatch { .. } => tsc_telemetry::err_code::VERSION_MISMATCH,
+            SnapshotError::KindMismatch { .. } => tsc_telemetry::err_code::KIND_MISMATCH,
+            SnapshotError::Invalid(_) => tsc_telemetry::err_code::INVALID,
+        }
+    }
+}
+
+/// Records a failed restore in the telemetry plane: bumps the error
+/// counter and pushes a [`tsc_telemetry::EventKind::RestoreFailed`]
+/// flight-recorder event naming the typed error. Shared by every
+/// component restore path (clock, quorum, lifecycle).
+pub fn record_restore_failure(e: &SnapshotError, blob_len: usize) {
+    tsc_telemetry::add(tsc_telemetry::Ctr::SnapshotRestoreErrors, 1);
+    tsc_telemetry::event(
+        tsc_telemetry::EventKind::RestoreFailed,
+        0,
+        e.telemetry_code(),
+        blob_len as u64,
+    );
+}
+
 /// Little-endian binary writer for snapshot payloads.
 #[derive(Debug, Default)]
 pub struct SnapshotWriter {

@@ -9,8 +9,29 @@
 //! Defaults use shortened (but representative) durations; `--full` restores
 //! the paper's spans. Run with `--release` — the simulator covers months of
 //! trace per second of wall clock.
+//!
+//! Built with `--features telemetry`, every report is followed by a
+//! metrics exposition for that experiment (Prometheus text by default,
+//! `--telemetry-json` for JSON). The exposition is appended *after* the
+//! report — report text stays byte-identical in both feature states.
 
 use tsc_experiments::{run_by_id, ExpOptions, ALL_IDS};
+
+/// Prints the per-experiment metrics exposition and clears the registry
+/// so the next experiment starts from zero. No-op when the telemetry
+/// plane is compiled out.
+fn dump_telemetry(json: bool) {
+    if !tsc_telemetry::TELEMETRY_COMPILED {
+        return;
+    }
+    let text = if json {
+        tsc_telemetry::to_json()
+    } else {
+        tsc_telemetry::prometheus()
+    };
+    println!("{text}");
+    tsc_telemetry::reset_global();
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,10 +41,12 @@ fn main() {
     }
     let mut opt = ExpOptions::default();
     let mut ids: Vec<String> = Vec::new();
+    let mut telemetry_json = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--full" => opt.full = true,
+            "--telemetry-json" => telemetry_json = true,
             "--seed" => {
                 i += 1;
                 opt.seed = args
@@ -52,6 +75,7 @@ fn main() {
         match run_by_id(id, opt) {
             Some(report) => {
                 println!("{}", report.render());
+                dump_telemetry(telemetry_json);
                 eprintln!("[{id}] completed in {:?}\n", t0.elapsed());
             }
             None => eprintln!("unknown experiment id: {id} (try `repro list`)"),
@@ -60,7 +84,9 @@ fn main() {
 }
 
 fn usage() {
-    eprintln!("usage: repro <all | list | EXPERIMENT_ID...> [--full] [--seed N]");
+    eprintln!(
+        "usage: repro <all | list | EXPERIMENT_ID...> [--full] [--seed N] [--telemetry-json]"
+    );
     eprintln!("experiments: {}", ALL_IDS.join(" "));
 }
 

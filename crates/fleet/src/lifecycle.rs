@@ -45,6 +45,7 @@
 
 use rand::{RngExt, SeedableRng};
 use rand_chacha::ChaCha12Rng;
+use tsc_telemetry as telemetry;
 use tsc_netsim::profile::PathProfile;
 use tsc_netsim::multi::splitmix64;
 use tscclock::snapshot::{self, SnapshotReader, SnapshotWriter};
@@ -564,6 +565,10 @@ impl LifecycleClient {
         let dt = (now - self.last_change_t).max(0.0);
         self.time_in_state[self.state as usize] += dt;
         self.last_change_t = now;
+        // Deterministic event time: simulated seconds in microseconds.
+        let at = (now.max(0.0) * 1e6) as u64;
+        let edge = ((self.state as u64) << 8) | to as u64;
+        telemetry::add(telemetry::Ctr::LifecycleTransitions, 1);
         if self.trace.len() < self.cfg.max_trace {
             self.trace.push(Transition {
                 t: now,
@@ -571,6 +576,25 @@ impl LifecycleClient {
                 to,
                 cause,
             });
+            telemetry::event(
+                telemetry::EventKind::LifecycleTransition,
+                at,
+                edge,
+                cause.to_tag() as u64,
+            );
+        } else {
+            // The bounded trace is full: the edge still *happened* (the
+            // `transitions` counter and `time_in_state` keep counting),
+            // but its trace record is dropped. That drop used to be
+            // silent; now it is counted and flight-recorded, and the
+            // exposition dump always carries the counter.
+            telemetry::add(telemetry::Ctr::LifecycleTraceDropped, 1);
+            telemetry::event(
+                telemetry::EventKind::LifecycleTraceDropped,
+                at,
+                edge,
+                cause.to_tag() as u64,
+            );
         }
         self.transitions += 1;
         self.state = to;
@@ -589,6 +613,7 @@ impl LifecycleClient {
     /// clients stay spread across the jitter window instead of
     /// re-phase-locking.
     pub fn snapshot(&self) -> Vec<u8> {
+        let tm = telemetry::StageTimer::start(telemetry::Hist::SealNs);
         let mut w = SnapshotWriter::new();
         self.cfg.save_state(&mut w);
         self.clock.save_state(&mut w);
@@ -622,7 +647,10 @@ impl LifecycleClient {
         w.put_u64(self.accepted);
         w.put_u64(self.rejected);
         w.put_u64(self.timeouts);
-        w.seal(snapshot::kind::LIFECYCLE)
+        let blob = w.seal(snapshot::kind::LIFECYCLE);
+        tm.stop();
+        telemetry::add(telemetry::Ctr::SnapshotSeals, 1);
+        blob
     }
 
     /// Restores a client from a [`LifecycleClient::snapshot`] blob.
@@ -632,6 +660,17 @@ impl LifecycleClient {
     /// [`LifecycleClient::restore_or_cold`] for the degrade-to-cold-start
     /// policy.
     pub fn restore(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let tm = telemetry::StageTimer::start(telemetry::Hist::RestoreNs);
+        let result = Self::restore_inner(bytes);
+        tm.stop();
+        match &result {
+            Ok(_) => telemetry::add(telemetry::Ctr::SnapshotRestores, 1),
+            Err(e) => snapshot::record_restore_failure(e, bytes.len()),
+        }
+        result
+    }
+
+    fn restore_inner(bytes: &[u8]) -> Result<Self, SnapshotError> {
         let payload = snapshot::open_envelope(bytes, snapshot::kind::LIFECYCLE)?;
         let mut r = SnapshotReader::new(payload);
         let cfg = LifecycleConfig::load_state(&mut r)?;
@@ -712,7 +751,20 @@ impl LifecycleClient {
     ) -> (Self, Option<SnapshotError>) {
         match Self::restore(bytes) {
             Ok(c) => (c, None),
-            Err(e) => (Self::new(cfg, clock_cfg, seed, join_t), Some(e)),
+            Err(e) => {
+                // The typed error was recorded (and named) by `restore`;
+                // degrading to cold is the incident worth a post-mortem
+                // trace, so auto-dump the flight recorder here.
+                telemetry::add(telemetry::Ctr::ColdRestarts, 1);
+                telemetry::event(
+                    telemetry::EventKind::ColdRestart,
+                    (join_t.max(0.0) * 1e6) as u64,
+                    0,
+                    0,
+                );
+                eprintln!("{}", telemetry::flight_dump());
+                (Self::new(cfg, clock_cfg, seed, join_t), Some(e))
+            }
         }
     }
 }

@@ -29,6 +29,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use tsc_telemetry as telemetry;
 
 /// The per-item work of one batch, type-erased for the worker loop.
 type Task = Arc<dyn Fn(usize) + Send + Sync>;
@@ -96,6 +97,7 @@ impl WorkerPool {
                 std::thread::spawn(move || Self::worker_loop(&shared))
             })
             .collect();
+        telemetry::gauge_set(telemetry::Gauge::PoolWorkers, threads as u64);
         Self {
             shared,
             workers,
@@ -123,6 +125,7 @@ impl WorkerPool {
                             break Arc::clone(b);
                         }
                     }
+                    telemetry::add(telemetry::Ctr::PoolParkCycles, 1);
                     st = shared.work_cv.wait(st).expect("pool lock");
                 }
             };
@@ -137,6 +140,7 @@ impl WorkerPool {
             if start >= batch.items {
                 return;
             }
+            telemetry::add(telemetry::Ctr::PoolChunksClaimed, 1);
             let end = (start + batch.chunk).min(batch.items);
             for i in start..end {
                 // After a panic, keep claiming (the completion count must

@@ -40,6 +40,7 @@ use crate::recovery::{CheckpointStore, ClockCheckpoint, CrashPlan, LatestCheckpo
 use crate::replay::{fnv, FNV_OFFSET};
 use std::sync::Arc;
 use tsc_netsim::multi::splitmix64;
+use tsc_telemetry as telemetry;
 use tsc_netsim::profile::{PathProfile, ProfileMix};
 use tsc_netsim::{OnDemandSim, Scenario};
 use tscclock::snapshot::{self, SnapshotReader, SnapshotWriter};
@@ -502,6 +503,8 @@ impl PopulationSummary {
 /// Replays the population across `pool`, one client per work item.
 /// Summaries are in client order and independent of thread count/chunk.
 pub fn replay_population(pool: &mut WorkerPool, cfg: &PopulationConfig) -> PopulationSummary {
+    telemetry::install_panic_dump();
+    telemetry::gauge_set(telemetry::Gauge::PopulationClients, cfg.clients as u64);
     let chunk = if cfg.chunk == 0 {
         (cfg.clients / (8 * pool.threads())).max(1)
     } else {
@@ -527,6 +530,8 @@ pub fn replay_population_checkpointed(
     checkpoint_every: u64,
     crash: &CrashPlan,
 ) -> (PopulationSummary, RecoveryStats) {
+    telemetry::install_panic_dump();
+    telemetry::gauge_set(telemetry::Gauge::PopulationClients, cfg.clients as u64);
     let chunk = if cfg.chunk == 0 {
         (cfg.clients / (8 * pool.threads())).max(1)
     } else {

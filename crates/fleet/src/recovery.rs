@@ -33,6 +33,7 @@
 use crate::pool::WorkerPool;
 use crate::replay::{fold_output, ClockSummary, FleetConfig, FNV_OFFSET};
 use std::sync::Arc;
+use tsc_telemetry as telemetry;
 use tsc_netsim::multi::splitmix64;
 use tsc_netsim::Scenario;
 use tscclock::{ClockConfig, ProcessOutput, TscNtpClock};
@@ -215,16 +216,30 @@ pub fn replay_clock_checkpointed(
             digest = fold_output(digest, o);
         }
         if checkpoint_every > 0 && delivered.is_multiple_of(checkpoint_every) {
+            let blob = clock.snapshot();
+            telemetry::event(
+                telemetry::EventKind::CheckpointSealed,
+                delivered,
+                blob.len() as u64,
+                0,
+            );
             store.save(ClockCheckpoint {
                 delivered,
                 digest,
-                blob: clock.snapshot(),
+                blob,
             });
             stats.checkpoints += 1;
         }
         while crash_points.get(next_crash) == Some(&delivered) {
             next_crash += 1;
             stats.crashes += 1;
+            telemetry::add(telemetry::Ctr::CrashesInjected, 1);
+            telemetry::event(
+                telemetry::EventKind::CrashInjected,
+                delivered,
+                stats.crashes,
+                0,
+            );
             // The worker dies here: everything in flight is lost. Recover
             // from the last durable checkpoint, or degrade to cold.
             let resume_from = match store.last().map(|ck| {
@@ -234,14 +249,25 @@ pub fn replay_clock_checkpointed(
                     clock = c;
                     digest = h;
                     stats.warm_restores += 1;
+                    telemetry::add(telemetry::Ctr::WarmRestores, 1);
+                    telemetry::event(telemetry::EventKind::WarmRestore, delivered, d, 0);
                     d
                 }
-                Some(Err(_)) | None => {
+                other => {
                     // restore-or-degrade: a typed error (or no checkpoint)
-                    // costs warm state, never correctness
+                    // costs warm state, never correctness. The failed
+                    // restore itself was already recorded (with the typed
+                    // `SnapshotError` named) by `TscNtpClock::restore`;
+                    // falling back to cold is the operational incident, so
+                    // auto-dump the flight recorder for the post-mortem.
+                    if matches!(other, Some(Err(_))) {
+                        eprintln!("{}", telemetry::flight_dump());
+                    }
                     clock = TscNtpClock::new(*clock_cfg);
                     digest = FNV_OFFSET;
                     stats.cold_restarts += 1;
+                    telemetry::add(telemetry::Ctr::ColdRestarts, 1);
+                    telemetry::event(telemetry::EventKind::ColdRestart, delivered, 0, 0);
                     0
                 }
             };
@@ -259,6 +285,7 @@ pub fn replay_clock_checkpointed(
                 skipped += buf.len() as u64;
             }
             stats.replayed += skipped;
+            telemetry::add(telemetry::Ctr::ReplayedPackets, skipped);
             delivered = resume_from;
         }
     }
@@ -287,6 +314,8 @@ pub fn replay_fleet_checkpointed(
     checkpoint_every: u64,
     crash: &CrashPlan,
 ) -> (Vec<ClockSummary>, RecoveryStats) {
+    telemetry::install_panic_dump();
+    telemetry::gauge_set(telemetry::Gauge::FleetClocks, cfg.clocks as u64);
     let chunk = if cfg.chunk == 0 {
         (cfg.clocks / (8 * pool.threads())).max(1)
     } else {

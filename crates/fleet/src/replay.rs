@@ -19,6 +19,7 @@
 use crate::pool::WorkerPool;
 use std::sync::Arc;
 use tsc_netsim::Scenario;
+use tsc_telemetry as telemetry;
 use tscclock::{ClockConfig, ProcessOutput, TscNtpClock};
 
 /// Configuration of one fleet replay.
@@ -130,7 +131,11 @@ pub fn replay_clock(
         }
         delivered += buf.len() as u64;
         out.clear();
+        let tm = telemetry::StageTimer::start(telemetry::Hist::IngestBatchNs);
         clock.process_batch(&buf, &mut out);
+        tm.stop();
+        telemetry::add(telemetry::Ctr::PacketsIngested, buf.len() as u64);
+        telemetry::add(telemetry::Ctr::BatchesIngested, 1);
         for o in &out {
             digest = fold_output(digest, o);
         }
@@ -152,6 +157,8 @@ pub fn replay_clock(
 /// Summaries are returned in clock order and are bit-identical for every
 /// thread count, `chunk` and `stripe`.
 pub fn replay_fleet(pool: &mut WorkerPool, cfg: &FleetConfig) -> Vec<ClockSummary> {
+    telemetry::install_panic_dump();
+    telemetry::gauge_set(telemetry::Gauge::FleetClocks, cfg.clocks as u64);
     if cfg.stripe > 1 {
         let stripe = cfg.stripe;
         let stripes = cfg.clocks.div_ceil(stripe);

@@ -1,0 +1,172 @@
+//! Telemetry-plane acceptance: with the `telemetry` feature compiled in,
+//! the plane must be **digest-transparent** (recording on, recording off,
+//! and compiled-out builds all produce bit-identical fleet results) and
+//! **honest** (a failed restore leaves a flight-recorder trail naming the
+//! typed error; bounded buffers report their drops instead of truncating
+//! silently).
+//!
+//! This suite only builds with `--features telemetry`; the compiled-out
+//! half of the transparency proof is the ordinary parity suites, which CI
+//! runs in both feature states.
+#![cfg(feature = "telemetry")]
+
+use std::sync::Mutex;
+use tsc_fleet::{
+    replay_clock_checkpointed, replay_fleet, replay_sequential, CheckpointStore, ClientState,
+    ClockCheckpoint, FleetConfig, LatestCheckpoint, LifecycleClient, LifecycleConfig, WorkerPool,
+};
+use tsc_netsim::{LevelShift, Scenario, ServerKind};
+use tsc_telemetry as telemetry;
+use tscclock::ClockConfig;
+
+/// Tests here flip the global recording switch and read shared global
+/// counters; serialize them against each other (the cargo test harness
+/// runs tests on parallel threads within this binary).
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn eventful_fleet(clocks: usize) -> FleetConfig {
+    let scenario = Scenario::baseline(0)
+        .with_poll_period(64.0)
+        .with_duration(64.0 * 400.0)
+        .with_server(ServerKind::Int)
+        .with_outage(64.0 * 150.0, 64.0 * 180.0)
+        .with_shift(LevelShift::forward_only(64.0 * 250.0, None, 0.9e-3));
+    let mut cfg = FleetConfig::new(clocks, 7, scenario, ClockConfig::paper_defaults(64.0));
+    cfg.ingest_batch = 97;
+    cfg
+}
+
+#[test]
+fn recording_switch_cannot_change_fleet_digests() {
+    let guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let cfg = eventful_fleet(10);
+    let expected = replay_sequential(&cfg);
+    let mut pool = WorkerPool::new(3);
+    telemetry::set_recording(false);
+    let silent = replay_fleet(&mut pool, &cfg);
+    telemetry::set_recording(true);
+    let recorded = replay_fleet(&mut pool, &cfg);
+    drop(guard);
+    assert_eq!(silent, expected, "recording=off diverged");
+    assert_eq!(recorded, expected, "recording=on diverged");
+}
+
+#[test]
+fn fleet_replay_populates_the_registry() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let reg = telemetry::global();
+    let packets0 = reg.counter(telemetry::Ctr::PacketsIngested);
+    let rounds0 = reg.counter(telemetry::Ctr::StripeRounds);
+    let cfg = eventful_fleet(8);
+    let mut pool = WorkerPool::new(2);
+    let got = replay_fleet(&mut pool, &cfg);
+    let delivered: u64 = got.iter().map(|s| s.delivered).sum();
+    assert!(delivered > 0);
+    // The SoA stripe path counts per megabatch round, the scalar tail per
+    // ingest batch; either way the per-packet total must be exact.
+    assert!(
+        reg.counter(telemetry::Ctr::PacketsIngested) >= packets0 + delivered,
+        "packet counter undercounts"
+    );
+    assert!(
+        reg.counter(telemetry::Ctr::StripeRounds) > rounds0,
+        "stripe engine ran but counted no rounds"
+    );
+    assert!(reg.gauge(telemetry::Gauge::FleetClocks) >= 8);
+}
+
+/// A store that corrupts every blob: bit-flip (checksum failure) or
+/// truncation (short read) — same adversary as `crash_recovery.rs`.
+#[derive(Default)]
+struct CorruptingStore {
+    inner: LatestCheckpoint,
+    mode: u8,
+}
+
+impl CheckpointStore for CorruptingStore {
+    fn save(&mut self, mut ck: ClockCheckpoint) {
+        match self.mode {
+            0 => {
+                let mid = ck.blob.len() / 2;
+                ck.blob[mid] ^= 0x10;
+            }
+            _ => ck.blob.truncate(ck.blob.len() / 2),
+        }
+        self.inner.save(ck);
+    }
+    fn last(&self) -> Option<&ClockCheckpoint> {
+        self.inner.last()
+    }
+}
+
+#[test]
+fn failed_restore_dumps_flight_trail_naming_the_typed_error() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let cfg = eventful_fleet(1);
+    let expected = replay_sequential(&cfg);
+    for (mode, want_err) in [(0u8, "SnapshotError::Checksum"), (1u8, "SnapshotError::Truncated")] {
+        telemetry::clear_flight_recorder();
+        let reg = telemetry::global();
+        let errs0 = reg.counter(telemetry::Ctr::SnapshotRestoreErrors);
+        let cold0 = reg.counter(telemetry::Ctr::ColdRestarts);
+        let mut store = CorruptingStore { mode, ..Default::default() };
+        let (got, stats) = replay_clock_checkpointed(
+            0,
+            &cfg.scenario,
+            cfg.base_seed,
+            &cfg.clock,
+            cfg.ingest_batch,
+            50,
+            &[130],
+            &mut store,
+        );
+        assert_eq!(got, expected[0], "mode {mode}: cold restart diverged");
+        assert_eq!(stats.cold_restarts, 1, "mode {mode}");
+        assert!(
+            reg.counter(telemetry::Ctr::SnapshotRestoreErrors) > errs0,
+            "mode {mode}: restore error not counted"
+        );
+        assert!(
+            reg.counter(telemetry::Ctr::ColdRestarts) > cold0,
+            "mode {mode}: cold restart not counted"
+        );
+        // The checkpointed replay runs on this thread, so the events are
+        // in this thread's ring: the dump must name the typed error.
+        let dump = telemetry::flight_dump();
+        assert!(dump.contains("restore-failed"), "mode {mode}: no restore-failed event:\n{dump}");
+        assert!(dump.contains(want_err), "mode {mode}: dump lacks {want_err}:\n{dump}");
+        assert!(dump.contains("cold-restart"), "mode {mode}: no cold-restart event:\n{dump}");
+    }
+}
+
+#[test]
+fn capped_lifecycle_trace_drops_are_counted_and_exposed() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let reg = telemetry::global();
+    let dropped0 = reg.counter(telemetry::Ctr::LifecycleTraceDropped);
+    let mut cfg = LifecycleConfig::defaults(16.0);
+    cfg.max_retries = 1; // every timeout → Failed{cooldown}
+    cfg.cooldown = 8.0;
+    cfg.max_trace = 1; // room for one transition, then drops
+    let mut client = LifecycleClient::new(cfg, ClockConfig::paper_defaults(16.0), 3, 0.0);
+    let mut t = 1.0;
+    for _ in 0..5 {
+        client.on_timeout(t); // → Failed
+        t += 20.0;
+        client.end_cooldown(t); // → Unsynced
+        t += 1.0;
+    }
+    assert_eq!(client.state(), ClientState::Unsynced);
+    assert_eq!(client.trace().len(), 1, "trace cap not honored");
+    assert_eq!(client.transition_count(), 10, "transitions still counted past the cap");
+    let dropped = reg.counter(telemetry::Ctr::LifecycleTraceDropped);
+    assert!(dropped >= dropped0 + 9, "only {} drops counted", dropped - dropped0);
+    // The no-silent-truncation contract: both drop counters appear in the
+    // exposition unconditionally (zero or not).
+    let prom = telemetry::prometheus();
+    assert!(prom.contains("tsc_lifecycle_trace_dropped_total"));
+    assert!(prom.contains("tsc_flight_recorder_dropped_total"));
+    let json = telemetry::to_json();
+    assert!(json.contains("\"lifecycle_trace_dropped\""));
+    assert!(json.contains("\"flight_recorder_dropped\""));
+}

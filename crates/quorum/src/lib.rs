@@ -51,6 +51,7 @@ pub mod health;
 pub use combine::{Candidate, Combination, CombinerConfig};
 pub use health::{HealthConfig, HealthTracker, RoundObservation};
 
+use tsc_telemetry as telemetry;
 use tscclock::snapshot::{self, SnapshotReader, SnapshotWriter};
 use tscclock::{ClockConfig, ClockEvent, RawExchange, SnapshotError, TscNtpClock};
 
@@ -265,6 +266,18 @@ impl QuorumClock {
             if !self.candidates.is_empty() {
                 let c = combine::combine(&self.candidates, &mut self.scratch);
                 excluded_mask = c.excluded_mask;
+                if excluded_mask != 0 {
+                    telemetry::add(
+                        telemetry::Ctr::QuorumExclusions,
+                        excluded_mask.count_ones() as u64,
+                    );
+                    telemetry::event(
+                        telemetry::EventKind::CombinerExclusion,
+                        self.round,
+                        excluded_mask as u64,
+                        0,
+                    );
+                }
                 combined = Some(Combined {
                     tsc_ref,
                     utc_ref: c.value,
@@ -278,9 +291,27 @@ impl QuorumClock {
         let mut demoted_mask = 0u32;
         for (k, s) in self.servers.iter_mut().enumerate() {
             obs[k].excluded = excluded_mask & (1 << k) != 0;
+            let was_demoted = s.health.demoted();
             s.health.observe(&self.cfg.health, obs[k]);
             if s.health.demoted() {
                 demoted_mask |= 1 << k;
+                if !was_demoted {
+                    telemetry::add(telemetry::Ctr::QuorumDemotions, 1);
+                    telemetry::event(
+                        telemetry::EventKind::TrustDemoted,
+                        self.round,
+                        k as u64,
+                        s.health.trust().to_bits(),
+                    );
+                }
+            } else if was_demoted {
+                telemetry::add(telemetry::Ctr::QuorumReadmissions, 1);
+                telemetry::event(
+                    telemetry::EventKind::TrustReadmitted,
+                    self.round,
+                    k as u64,
+                    s.health.trust().to_bits(),
+                );
             }
         }
 
@@ -308,6 +339,7 @@ impl QuorumClock {
     /// scratch (`candidates`, the combiner sort buffer) is rebuilt empty —
     /// it is dead between rounds.
     pub fn snapshot(&self) -> Vec<u8> {
+        let tm = telemetry::StageTimer::start(telemetry::Hist::SealNs);
         let mut w = SnapshotWriter::new();
         self.cfg.clock.save_state(&mut w);
         self.cfg.health.save_state(&mut w);
@@ -327,7 +359,10 @@ impl QuorumClock {
             }
             None => w.put_u8(0),
         }
-        w.seal(snapshot::kind::QUORUM)
+        let blob = w.seal(snapshot::kind::QUORUM);
+        tm.stop();
+        telemetry::add(telemetry::Ctr::SnapshotSeals, 1);
+        blob
     }
 
     /// Restores a quorum from a [`QuorumClock::snapshot`] blob.
@@ -337,6 +372,17 @@ impl QuorumClock {
     /// yields a typed [`SnapshotError`]; callers degrade to a cold
     /// [`QuorumClock::new`] instead of running a wrong clock.
     pub fn restore(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let tm = telemetry::StageTimer::start(telemetry::Hist::RestoreNs);
+        let result = Self::restore_inner(bytes);
+        tm.stop();
+        match &result {
+            Ok(_) => telemetry::add(telemetry::Ctr::SnapshotRestores, 1),
+            Err(e) => snapshot::record_restore_failure(e, bytes.len()),
+        }
+        result
+    }
+
+    fn restore_inner(bytes: &[u8]) -> Result<Self, SnapshotError> {
         let payload = snapshot::open_envelope(bytes, snapshot::kind::QUORUM)?;
         let mut r = SnapshotReader::new(payload);
         let clock_cfg = ClockConfig::load_state(&mut r)?;

@@ -201,6 +201,20 @@ struct BenchRecord {
 
 static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
 
+/// Records an externally measured result into the JSON report. For
+/// benches whose measurement loop the harness cannot drive — e.g.
+/// interleaved A/B arms sharing one workload — which still want their
+/// rows in `$BENCH_JSON` next to the harness-timed ones.
+pub fn record_custom(
+    id: &str,
+    mean_ns: f64,
+    median_ns: f64,
+    iters: u64,
+    throughput: Option<Throughput>,
+) {
+    record_result(id, mean_ns, median_ns, iters, throughput);
+}
+
 fn record_result(
     id: &str,
     mean_ns: f64,

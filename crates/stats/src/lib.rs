@@ -9,6 +9,8 @@
 //! * [`quantile`] — percentile/median/IQR summaries used throughout the
 //!   evaluation (Figures 9, 10, 12).
 //! * [`histogram`] — fixed-bin histograms (Figure 12).
+//! * [`log2hist`] — log2-bucketed histograms with elementwise merge; the
+//!   bucketing math behind the `tsc-telemetry` latency histograms.
 //! * [`window`] — running and sliding-window minima; the RTT minimum
 //!   estimators `rˆ(t)` and `rˆl(t)` of §5.1/§6.2 are built on these.
 //! * [`regression`] — ordinary least squares and Theil–Sen slope estimation
@@ -21,6 +23,7 @@
 
 pub mod allan;
 pub mod histogram;
+pub mod log2hist;
 pub mod quantile;
 pub mod regression;
 pub mod summary;
@@ -28,6 +31,7 @@ pub mod window;
 
 pub use allan::{allan_deviation, allan_variance, AllanPoint};
 pub use histogram::Histogram;
+pub use log2hist::{log2_bucket_bound, log2_bucket_of, Log2Histogram, LOG2_BUCKETS};
 pub use quantile::{iqr, median, percentile, Percentiles};
 pub use regression::{ols_fit, theil_sen, LinearFit};
 pub use summary::RunningStats;

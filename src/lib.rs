@@ -8,5 +8,6 @@ pub use tsc_osc as osc;
 pub use tsc_refmon as refmon;
 pub use tsc_stats as stats;
 pub use tsc_swclock as swclock;
+pub use tsc_telemetry as telemetry;
 pub use tscclock as clock;
 pub use tsc_experiments as experiments;
