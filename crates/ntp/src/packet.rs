@@ -234,23 +234,56 @@ impl NtpPacket {
         }
     }
 
+    /// Builds a stratum-0 **refusal** (Kiss-o'-Death-style) response: the
+    /// serving plane sends this instead of a timestamp when its published
+    /// snapshot is missing, marked unsynchronized, or older than the
+    /// staleness horizon — a refusal is honest, a stale timestamp is not.
+    /// The leap indicator is [`LeapIndicator::Unsynchronized`] and
+    /// `reference_id` carries the refusal code (e.g. `b"STAL"`); clients
+    /// surface it as [`PacketError::KissOfDeath`].
+    pub fn refusal_response(request: &NtpPacket, code: [u8; 4]) -> Self {
+        Self {
+            leap: LeapIndicator::Unsynchronized,
+            version: request.version,
+            mode: Mode::Server,
+            stratum: 0,
+            poll: request.poll,
+            precision: -20,
+            root_delay: NtpShort(0),
+            root_dispersion: NtpShort(0),
+            reference_id: code,
+            reference_ts: NtpTimestamp::ZERO,
+            origin_ts: request.transmit_ts,
+            receive_ts: NtpTimestamp::ZERO,
+            transmit_ts: NtpTimestamp::ZERO,
+        }
+    }
+
+    /// Encodes into the first [`PACKET_LEN`] bytes of `buf` without
+    /// allocating or copying through a temporary — the batched serving
+    /// plane encodes straight into its contiguous transmit buffer.
+    ///
+    /// # Panics
+    /// Panics when `buf` is shorter than [`PACKET_LEN`].
+    pub fn encode_into(&self, buf: &mut [u8]) {
+        let mut b = &mut buf[..PACKET_LEN];
+        b.put_u8((self.leap.to_bits() << 6) | ((self.version & 0x7) << 3) | self.mode.to_bits());
+        b.put_u8(self.stratum);
+        b.put_i8(self.poll);
+        b.put_i8(self.precision);
+        b.put_u32(self.root_delay.0);
+        b.put_u32(self.root_dispersion.0);
+        b.put_slice(&self.reference_id);
+        b.put_u64(self.reference_ts.to_bits());
+        b.put_u64(self.origin_ts.to_bits());
+        b.put_u64(self.receive_ts.to_bits());
+        b.put_u64(self.transmit_ts.to_bits());
+    }
+
     /// Encodes into exactly [`PACKET_LEN`] bytes.
     pub fn encode(&self) -> [u8; PACKET_LEN] {
         let mut buf = [0u8; PACKET_LEN];
-        {
-            let mut b = &mut buf[..];
-            b.put_u8((self.leap.to_bits() << 6) | ((self.version & 0x7) << 3) | self.mode.to_bits());
-            b.put_u8(self.stratum);
-            b.put_i8(self.poll);
-            b.put_i8(self.precision);
-            b.put_u32(self.root_delay.0);
-            b.put_u32(self.root_dispersion.0);
-            b.put_slice(&self.reference_id);
-            b.put_u64(self.reference_ts.to_bits());
-            b.put_u64(self.origin_ts.to_bits());
-            b.put_u64(self.receive_ts.to_bits());
-            b.put_u64(self.transmit_ts.to_bits());
-        }
+        self.encode_into(&mut buf);
         buf
     }
 
@@ -452,6 +485,29 @@ mod tests {
         assert!(matches!(
             resp.validate_response(&req),
             Err(PacketError::KissOfDeath(code)) if &code == b"RATE"
+        ));
+    }
+
+    #[test]
+    fn encode_into_matches_encode() {
+        let p = sample_packet();
+        let mut buf = [0u8; PACKET_LEN + 16];
+        p.encode_into(&mut buf);
+        assert_eq!(&buf[..PACKET_LEN], &p.encode()[..]);
+        assert_eq!(&buf[PACKET_LEN..], &[0u8; 16][..], "tail untouched");
+    }
+
+    #[test]
+    fn refusal_response_reads_as_kiss_of_death() {
+        let req = NtpPacket::client_request(NtpTimestamp::from_unix_seconds(9.0), 6);
+        let r = NtpPacket::refusal_response(&req, *b"STAL");
+        assert_eq!(r.stratum, 0);
+        assert_eq!(r.leap, LeapIndicator::Unsynchronized);
+        assert_eq!(r.origin_ts, req.transmit_ts);
+        let wire = NtpPacket::decode(&r.encode()).unwrap();
+        assert!(matches!(
+            wire.validate_response(&req),
+            Err(PacketError::KissOfDeath(code)) if &code == b"STAL"
         ));
     }
 

@@ -10,9 +10,17 @@ use crate::packet::{Mode, NtpPacket, PACKET_LEN};
 use crate::timestamp::NtpTimestamp;
 use std::io;
 use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
+use tsc_telemetry as telemetry;
+
+/// Nominal server residence `Te − Tb` assumed when a clock is read once
+/// per request (seconds). The paper's servers answer in ~12 µs minimum
+/// residence; a server that reads its clock a single time per request
+/// derives `Te = Tb + residence` from this model instead of paying (and
+/// serializing on) a second clock read.
+pub const DEFAULT_RESIDENCE: f64 = 10e-6;
 
 /// The time source a server stamps packets with.
 ///
@@ -26,6 +34,15 @@ pub trait ServerClock: Send {
     /// ServerLoc/ServerInt).
     fn reference_id(&self) -> [u8; 4] {
         *b"GPS\0"
+    }
+
+    /// Modeled residence time `Te − Tb` (seconds). The serve loop reads
+    /// the clock **once** per request for `Tb` and derives
+    /// `Te = Tb + residence()` — the same residence model the snapshot
+    /// serving plane uses — so pure clocks aren't read twice mutably and
+    /// both stamps come from one consistent reading.
+    fn residence(&self) -> f64 {
+        DEFAULT_RESIDENCE
     }
 }
 
@@ -42,11 +59,20 @@ impl ServerClock for SystemServerClock {
     }
 }
 
+/// Shared serve-loop health state, readable through the handle.
+#[derive(Debug, Default)]
+struct ServerShared {
+    served: AtomicU64,
+    recv_errors: AtomicU64,
+    last_error: Mutex<Option<String>>,
+}
+
 /// Handle to a running server thread; dropping it (or calling
 /// [`NtpServerHandle::shutdown`]) stops the serve loop.
 pub struct NtpServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    shared: Arc<ServerShared>,
     join: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -54,6 +80,24 @@ impl NtpServerHandle {
     /// Address the server is listening on (useful with port 0 binds).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Responses served so far.
+    pub fn served(&self) -> u64 {
+        self.shared.served.load(Ordering::Relaxed)
+    }
+
+    /// Non-transient `recv_from` errors the loop survived. The loop never
+    /// dies on an error — it counts here (and in the
+    /// `serve_recv_errors` telemetry counter), keeps the last message for
+    /// [`NtpServerHandle::last_error`], and continues.
+    pub fn recv_errors(&self) -> u64 {
+        self.shared.recv_errors.load(Ordering::Relaxed)
+    }
+
+    /// Message of the most recent non-transient receive error, if any.
+    pub fn last_error(&self) -> Option<String> {
+        self.shared.last_error.lock().unwrap().clone()
     }
 
     /// Signals the serve loop to exit and waits for the thread.
@@ -90,6 +134,8 @@ pub fn spawn<A: ToSocketAddrs, C: ServerClock + 'static>(
     let local = socket.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let stop2 = Arc::clone(&stop);
+    let shared = Arc::new(ServerShared::default());
+    let shared2 = Arc::clone(&shared);
     let join = std::thread::Builder::new()
         .name("ntp-server".into())
         .spawn(move || {
@@ -97,13 +143,17 @@ pub fn spawn<A: ToSocketAddrs, C: ServerClock + 'static>(
             while !stop2.load(Ordering::SeqCst) {
                 let (len, from) = match socket.recv_from(&mut buf) {
                     Ok(x) => x,
-                    Err(ref e)
-                        if e.kind() == io::ErrorKind::WouldBlock
-                            || e.kind() == io::ErrorKind::TimedOut =>
-                    {
-                        continue
+                    Err(ref e) if recv_error_is_transient(e.kind()) => continue,
+                    Err(e) => {
+                        // Never die silently: count the error, remember it,
+                        // back off briefly so a persistently broken socket
+                        // doesn't busy-spin, and keep serving.
+                        shared2.recv_errors.fetch_add(1, Ordering::Relaxed);
+                        telemetry::add(telemetry::Ctr::ServeRecvErrors, 1);
+                        *shared2.last_error.lock().unwrap() = Some(e.to_string());
+                        std::thread::sleep(Duration::from_millis(1));
+                        continue;
                     }
-                    Err(_) => break,
                 };
                 if len < PACKET_LEN {
                     continue;
@@ -115,17 +165,39 @@ pub fn spawn<A: ToSocketAddrs, C: ServerClock + 'static>(
                 if request.mode != Mode::Client {
                     continue;
                 }
-                let tb = NtpTimestamp::from_unix_seconds(clock.now_unix());
-                let te = NtpTimestamp::from_unix_seconds(clock.now_unix());
+                // One clock read per request; Te derives from the residence
+                // model (see ServerClock::residence) so a pure clock isn't
+                // read twice and both stamps are mutually consistent.
+                let now = clock.now_unix();
+                let tb = NtpTimestamp::from_unix_seconds(now);
+                let te = NtpTimestamp::from_unix_seconds(now + clock.residence());
                 let resp = NtpPacket::server_response(&request, tb, te, clock.reference_id());
                 let _ = socket.send_to(&resp.encode(), from);
+                shared2.served.fetch_add(1, Ordering::Relaxed);
             }
         })?;
     Ok(NtpServerHandle {
         addr: local,
         stop,
+        shared,
         join: Some(join),
     })
+}
+
+/// Receive-error classification for the serve loops: timeouts and
+/// spurious wakeups are the normal idle path; everything else is counted
+/// as a survived error. `ConnectionReset`/`ConnectionRefused` show up on
+/// connectionless UDP sockets on some platforms when a *previous send*
+/// bounced (ICMP port unreachable) — transient by definition.
+pub fn recv_error_is_transient(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::WouldBlock
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::Interrupted
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionRefused
+    )
 }
 
 #[cfg(test)]
@@ -209,5 +281,59 @@ mod tests {
         let t0 = std::time::Instant::now();
         server.shutdown();
         assert!(t0.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn te_derives_from_the_residence_model() {
+        let server = spawn("127.0.0.1:0", FakeClock { t: 3.0e6 }).unwrap();
+        let mut client = SntpClient::connect(server.addr()).unwrap();
+        client.set_timeout(Duration::from_secs(2)).unwrap();
+        let mut t = 0.0;
+        let ft = client
+            .query(|| {
+                t += 0.001;
+                t
+            })
+            .unwrap();
+        // One clock read per request: Te − Tb is the modeled residence
+        // (within f64 ULP noise near the NTP epoch offset), not the +1 µs a
+        // second FakeClock read would have added.
+        assert!(
+            (ft.te - ft.tb - DEFAULT_RESIDENCE).abs() < 5e-7,
+            "te - tb = {}",
+            ft.te - ft.tb
+        );
+        // The response can arrive before the serve loop bumps its counter;
+        // give the increment a moment to land.
+        let t0 = std::time::Instant::now();
+        while server.served() < 1 && t0.elapsed() < Duration::from_secs(2) {
+            std::thread::yield_now();
+        }
+        assert_eq!(server.served(), 1);
+        assert_eq!(server.recv_errors(), 0);
+        assert!(server.last_error().is_none());
+        server.shutdown();
+    }
+
+    #[test]
+    fn transient_error_classification() {
+        for k in [
+            io::ErrorKind::WouldBlock,
+            io::ErrorKind::TimedOut,
+            io::ErrorKind::Interrupted,
+            io::ErrorKind::ConnectionReset,
+            io::ErrorKind::ConnectionRefused,
+        ] {
+            assert!(recv_error_is_transient(k), "{k:?}");
+        }
+        for k in [
+            io::ErrorKind::NotFound,
+            io::ErrorKind::PermissionDenied,
+            io::ErrorKind::BrokenPipe,
+            io::ErrorKind::InvalidInput,
+            io::ErrorKind::Other,
+        ] {
+            assert!(!recv_error_is_transient(k), "{k:?}");
+        }
     }
 }

@@ -1,0 +1,527 @@
+//! The serve loop: decode a received batch, decide serve-or-refuse off
+//! one snapshot read, stamp `Tb`/`Te`, encode responses in place.
+//!
+//! # Serve / refuse semantics
+//!
+//! Mirrors the client-side `LifecycleClient` verdicts, on the server side:
+//!
+//! - no snapshot published yet → refuse `INIT`
+//! - snapshot marked unsynchronized → refuse `UNSY`
+//! - snapshot staleness beyond the horizon → refuse `STAL`
+//! - otherwise serve: `Tb = Ca(tsc)`, `Te = Tb + residence`, and the
+//!   response's root-dispersion field carries the **served-error bound**
+//!   `bound + widen_rate·staleness`, rounded *up* to the 16.16 wire
+//!   format so the bound on the wire never under-reports.
+//!
+//! A refusal is a stratum-0 Kiss-o'-Death response (LI unsynchronized,
+//! refid = code) — honest unavailability instead of a silently stale
+//! timestamp.
+
+use crate::cell::{ClockSnapshot, SnapshotCell};
+use crate::transport::{BatchBufs, DatagramBatch, DEFAULT_BATCH};
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use tsc_ntp::packet::{Mode, NtpPacket};
+use tsc_ntp::server::DEFAULT_RESIDENCE;
+use tsc_ntp::timestamp::{NtpShort, NtpTimestamp};
+use tsc_telemetry as telemetry;
+
+/// Refusal code: no snapshot has ever been published.
+pub const REFUSE_INIT: [u8; 4] = *b"INIT";
+/// Refusal code: the published snapshot is marked unsynchronized.
+pub const REFUSE_UNSYNC: [u8; 4] = *b"UNSY";
+/// Refusal code: the snapshot is older than the staleness horizon.
+pub const REFUSE_STALE: [u8; 4] = *b"STAL";
+
+/// Serving-plane policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Refuse once the snapshot is staler than this (seconds).
+    pub stale_horizon: f64,
+    /// Modeled residence `Te − Tb` (seconds) — same model as the legacy
+    /// server's [`DEFAULT_RESIDENCE`].
+    pub residence: f64,
+    /// Max datagrams per batch.
+    pub batch: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            // Mirrors LifecycleConfig::defaults' 4-hour client-side horizon.
+            stale_horizon: 4.0 * 3600.0,
+            residence: DEFAULT_RESIDENCE,
+            batch: DEFAULT_BATCH,
+        }
+    }
+}
+
+/// What the plane decided for one request at one counter reading.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Decision {
+    /// Stamp and serve.
+    Serve {
+        /// Server receive time `Tb` (Unix seconds).
+        tb: f64,
+        /// Server transmit time `Te = Tb + residence`.
+        te: f64,
+        /// Served-error bound (seconds) before wire quantization.
+        bound: f64,
+    },
+    /// Refuse with this Kiss-o'-Death code.
+    Refuse([u8; 4]),
+}
+
+/// The serve-or-refuse decision for a request arriving at counter reading
+/// `tsc`, given the current snapshot. Pure — the whole correctness story
+/// of the plane, separated from I/O so tests hit it directly.
+#[inline]
+pub fn decide(cfg: &ServeConfig, snap: Option<&ClockSnapshot>, tsc: u64) -> Decision {
+    let Some(snap) = snap else {
+        return Decision::Refuse(REFUSE_INIT);
+    };
+    if !snap.synced {
+        return Decision::Refuse(REFUSE_UNSYNC);
+    }
+    let staleness = snap.staleness(tsc);
+    if staleness > cfg.stale_horizon {
+        return Decision::Refuse(REFUSE_STALE);
+    }
+    let tb = snap.time_at(tsc);
+    Decision::Serve {
+        tb,
+        te: tb + cfg.residence,
+        bound: snap.bound_at(tsc),
+    }
+}
+
+/// Encodes `bound` seconds into the 16.16 short format **rounding up**,
+/// saturating at the format maximum: the wire bound must dominate the
+/// internal one.
+#[inline]
+pub fn bound_to_wire(bound: f64) -> NtpShort {
+    let scaled = (bound * 65536.0).ceil();
+    if scaled >= u32::MAX as f64 {
+        NtpShort(u32::MAX)
+    } else {
+        NtpShort(scaled.max(0.0) as u32)
+    }
+}
+
+/// Plain per-plane counters (always available, telemetry feature or not).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ServeStats {
+    /// Datagrams received (valid or not).
+    pub requests: u64,
+    /// Timestamped responses sent.
+    pub responses: u64,
+    /// Datagrams dropped as malformed (decode error / non-client mode).
+    pub malformed: u64,
+    /// Kiss-o'-Death refusals sent.
+    pub refusals: u64,
+    /// Batches processed (with ≥1 datagram).
+    pub batches: u64,
+}
+
+/// One server's serving state: config + the shared snapshot cell.
+#[derive(Debug)]
+pub struct ServePlane {
+    pub cfg: ServeConfig,
+    cell: Arc<SnapshotCell>,
+    pub stats: ServeStats,
+}
+
+impl ServePlane {
+    pub fn new(cell: Arc<SnapshotCell>, cfg: ServeConfig) -> Self {
+        Self {
+            cfg,
+            cell,
+            stats: ServeStats::default(),
+        }
+    }
+
+    pub fn cell(&self) -> &Arc<SnapshotCell> {
+        &self.cell
+    }
+
+    /// Serves one received batch: for each of the `n` filled `rx` slots,
+    /// decodes, validates, decides, and encodes the response into the
+    /// matching `tx` slot (len 0 = drop). Returns the number of non-empty
+    /// responses. **One snapshot read per batch**; one `tsc_now()` reading
+    /// per datagram.
+    ///
+    /// Telemetry is batch-granular: counters and the batch-fill/snapshot-
+    /// age histograms are touched once per batch, never per packet.
+    pub fn serve_batch(
+        &mut self,
+        rx: &BatchBufs,
+        n: usize,
+        tx: &mut BatchBufs,
+        tsc_now: &mut dyn FnMut() -> u64,
+    ) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        let snap = self.cell.read();
+        let (mut served, mut malformed, mut refused) = (0u64, 0u64, 0u64);
+        let mut first_age_ns = 0u64;
+        for i in 0..n {
+            let request = match NtpPacket::decode(rx.slot(i)) {
+                Ok(p) if p.mode == Mode::Client => p,
+                _ => {
+                    tx.set_len(i, 0);
+                    malformed += 1;
+                    continue;
+                }
+            };
+            let tsc = tsc_now();
+            if i == 0 {
+                if let Some(s) = &snap {
+                    first_age_ns = (s.staleness(tsc).max(0.0) * 1e9) as u64;
+                }
+            }
+            match decide(&self.cfg, snap.as_ref(), tsc) {
+                Decision::Serve { tb, te, bound } => {
+                    let snap = snap.as_ref().unwrap();
+                    let mut resp = NtpPacket::server_response(
+                        &request,
+                        NtpTimestamp::from_unix_seconds(tb),
+                        NtpTimestamp::from_unix_seconds(te),
+                        snap.reference_id,
+                    );
+                    resp.root_dispersion = bound_to_wire(bound);
+                    resp.reference_ts = NtpTimestamp::from_unix_seconds(snap.base);
+                    resp.encode_into(tx.slot_mut(i));
+                    tx.set_len(i, tsc_ntp::packet::PACKET_LEN);
+                    served += 1;
+                }
+                Decision::Refuse(code) => {
+                    NtpPacket::refusal_response(&request, code).encode_into(tx.slot_mut(i));
+                    tx.set_len(i, tsc_ntp::packet::PACKET_LEN);
+                    refused += 1;
+                }
+            }
+        }
+        self.stats.requests += n as u64;
+        self.stats.responses += served;
+        self.stats.malformed += malformed;
+        self.stats.refusals += refused;
+        self.stats.batches += 1;
+        telemetry::add(telemetry::Ctr::ServeRequests, n as u64);
+        telemetry::add(telemetry::Ctr::ServeResponses, served);
+        telemetry::add(telemetry::Ctr::ServeMalformed, malformed);
+        telemetry::add(telemetry::Ctr::ServeRefusals, refused);
+        telemetry::add(telemetry::Ctr::ServeBatches, 1);
+        telemetry::record_ns(telemetry::Hist::ServeBatchFill, n as u64);
+        telemetry::record_ns(telemetry::Hist::ServeSnapshotAgeNs, first_age_ns);
+        (served + refused) as usize
+    }
+}
+
+/// Counter source for live daemons: nanoseconds since construction via
+/// `Instant` — the same "driver-level counter" model `live_ntp` uses.
+pub fn instant_counter() -> impl FnMut() -> u64 + Send {
+    let t0 = std::time::Instant::now();
+    move || t0.elapsed().as_nanos() as u64
+}
+
+/// Shared daemon statistics, mirrored from [`ServeStats`] batch by batch.
+#[derive(Debug, Default)]
+struct DaemonShared {
+    requests: AtomicU64,
+    responses: AtomicU64,
+    malformed: AtomicU64,
+    refusals: AtomicU64,
+    batches: AtomicU64,
+}
+
+/// Handle to a running UDP serve daemon; dropping it (or calling
+/// [`ServeDaemonHandle::shutdown`]) stops the loop.
+pub struct ServeDaemonHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    shared: Arc<DaemonShared>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServeDaemonHandle {
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current counters (requests, responses, malformed, refusals, batches).
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            requests: self.shared.requests.load(Ordering::Relaxed),
+            responses: self.shared.responses.load(Ordering::Relaxed),
+            malformed: self.shared.malformed.load(Ordering::Relaxed),
+            refusals: self.shared.refusals.load(Ordering::Relaxed),
+            batches: self.shared.batches.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for ServeDaemonHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Spawns the batched UDP serve daemon on `addr`, answering off `cell`.
+/// The discipline loop keeps publishing into `cell` from its own thread;
+/// the daemon never blocks it.
+pub fn spawn_udp<A: ToSocketAddrs>(
+    addr: A,
+    cell: Arc<SnapshotCell>,
+    cfg: ServeConfig,
+    mut tsc_now: impl FnMut() -> u64 + Send + 'static,
+) -> io::Result<ServeDaemonHandle> {
+    let transport = crate::transport::UdpBatchTransport::bind(addr, cfg.batch)?;
+    let local = transport.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let shared = Arc::new(DaemonShared::default());
+    let shared2 = Arc::clone(&shared);
+    let join = std::thread::Builder::new()
+        .name("tsc-serve".into())
+        .spawn(move || {
+            let mut transport = transport;
+            let mut plane = ServePlane::new(cell, cfg);
+            let mut rx = BatchBufs::new(cfg.batch);
+            let mut tx = BatchBufs::new(cfg.batch);
+            while !stop2.load(Ordering::SeqCst) {
+                let n = match transport.recv_batch(&mut rx, cfg.batch) {
+                    Ok(n) => n,
+                    Err(_) => {
+                        telemetry::add(telemetry::Ctr::ServeRecvErrors, 1);
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                        continue;
+                    }
+                };
+                if n == 0 {
+                    continue;
+                }
+                let before = plane.stats;
+                plane.serve_batch(&rx, n, &mut tx, &mut tsc_now);
+                let _ = transport.send_batch(&tx, n);
+                let s = plane.stats;
+                shared2
+                    .requests
+                    .fetch_add(s.requests - before.requests, Ordering::Relaxed);
+                shared2
+                    .responses
+                    .fetch_add(s.responses - before.responses, Ordering::Relaxed);
+                shared2
+                    .malformed
+                    .fetch_add(s.malformed - before.malformed, Ordering::Relaxed);
+                shared2
+                    .refusals
+                    .fetch_add(s.refusals - before.refusals, Ordering::Relaxed);
+                shared2
+                    .batches
+                    .fetch_add(s.batches - before.batches, Ordering::Relaxed);
+            }
+        })?;
+    Ok(ServeDaemonHandle {
+        addr: local,
+        stop,
+        shared,
+        join: Some(join),
+    })
+}
+
+/// Error kinds that mean "nothing to read right now", not failure.
+pub fn is_idle_kind(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::SimTransport;
+
+    fn synced_snap(tsc0: u64) -> ClockSnapshot {
+        ClockSnapshot {
+            era: 1,
+            tsc0,
+            base: 1.0e9,
+            rate: 1e-9, // 1 ns per count
+            bound: 20e-6,
+            widen_rate: 1e-7,
+            synced: true,
+            reference_id: *b"TSC\0",
+        }
+    }
+
+    #[test]
+    fn decide_covers_all_refusal_states() {
+        let cfg = ServeConfig {
+            stale_horizon: 10.0,
+            ..ServeConfig::default()
+        };
+        assert_eq!(decide(&cfg, None, 0), Decision::Refuse(REFUSE_INIT));
+        let mut s = synced_snap(0);
+        s.synced = false;
+        assert_eq!(decide(&cfg, Some(&s), 0), Decision::Refuse(REFUSE_UNSYNC));
+        let s = synced_snap(0);
+        // 11 s past the seal at 1 ns/count.
+        let tsc = 11_000_000_000;
+        assert_eq!(decide(&cfg, Some(&s), tsc), Decision::Refuse(REFUSE_STALE));
+        // Just inside the horizon: serve, with the bound widened.
+        let tsc = 9_000_000_000;
+        match decide(&cfg, Some(&s), tsc) {
+            Decision::Serve { tb, te, bound } => {
+                assert!((tb - (1.0e9 + 9.0)).abs() < 1e-6);
+                // f64 ULP near 1e9 is ~1.2e-7 s; te = tb + residence only
+                // resolves to that granularity.
+                assert!((te - tb - cfg.residence).abs() < 5e-7);
+                assert!((bound - (20e-6 + 1e-7 * 9.0)).abs() < 1e-12);
+            }
+            d => panic!("expected serve, got {d:?}"),
+        }
+    }
+
+    #[test]
+    fn wire_bound_rounds_up_never_down() {
+        for bound in [0.0, 1e-9, 15e-6, 50e-6, 1.0, 3.7e4] {
+            let wire = bound_to_wire(bound).to_seconds();
+            assert!(wire >= bound, "wire {wire} < internal {bound}");
+            assert!(wire - bound <= 1.0 / 65536.0 + 1e-12);
+        }
+        assert_eq!(bound_to_wire(1e9).0, u32::MAX); // saturates
+    }
+
+    #[test]
+    fn serve_batch_stamps_refuses_and_drops() {
+        let cell = Arc::new(SnapshotCell::new());
+        cell.publish(&synced_snap(0));
+        let cfg = ServeConfig {
+            stale_horizon: 10.0,
+            ..ServeConfig::default()
+        };
+        let mut plane = ServePlane::new(Arc::clone(&cell), cfg);
+        let mut t = SimTransport::new();
+        // Slot 0: valid request. Slot 1: garbage. Slot 2: non-client mode.
+        let req = NtpPacket::client_request(NtpTimestamp::from_unix_seconds(500.0), 4);
+        t.push_request(&req.encode());
+        t.push_request(&[0xFF; 48]);
+        let mut server_mode = req;
+        server_mode.mode = Mode::Server;
+        t.push_request(&server_mode.encode());
+
+        let mut rx = BatchBufs::new(8);
+        let mut tx = BatchBufs::new(8);
+        let n = t.recv_batch(&mut rx, 8).unwrap();
+        assert_eq!(n, 3);
+        let mut tsc = move || 5_000_000_000u64; // 5 s after seal
+        let answered = plane.serve_batch(&rx, n, &mut tx, &mut tsc);
+        assert_eq!(answered, 1);
+        assert_eq!(t.send_batch(&tx, n).unwrap(), 1);
+        assert_eq!(
+            (plane.stats.requests, plane.stats.responses, plane.stats.malformed),
+            (3, 1, 2)
+        );
+
+        let (resp, len) = t.pop_response().unwrap();
+        let p = NtpPacket::decode(&resp[..len]).unwrap();
+        assert!(p.validate_response(&req).is_ok());
+        assert!((p.receive_ts.to_unix_seconds() - (1.0e9 + 5.0)).abs() < 1e-5);
+        let bound = p.root_dispersion.to_seconds();
+        assert!(bound >= 20e-6 + 1e-7 * 5.0);
+
+        // Past the horizon the same plane refuses with STAL.
+        t.push_request(&req.encode());
+        let n = t.recv_batch(&mut rx, 8).unwrap();
+        let mut tsc = move || 11_000_000_000u64;
+        plane.serve_batch(&rx, n, &mut tx, &mut tsc);
+        t.send_batch(&tx, n).unwrap();
+        let (resp, len) = t.pop_response().unwrap();
+        let p = NtpPacket::decode(&resp[..len]).unwrap();
+        assert!(matches!(
+            p.validate_response(&req),
+            Err(tsc_ntp::packet::PacketError::KissOfDeath(code)) if code == REFUSE_STALE
+        ));
+        assert_eq!(plane.stats.refusals, 1);
+    }
+
+    #[test]
+    fn unpublished_cell_refuses_init() {
+        let cell = Arc::new(SnapshotCell::new());
+        let mut plane = ServePlane::new(cell, ServeConfig::default());
+        let req = NtpPacket::client_request(NtpTimestamp::from_unix_seconds(1.0), 4);
+        let mut t = SimTransport::new();
+        t.push_request(&req.encode());
+        let mut rx = BatchBufs::new(4);
+        let mut tx = BatchBufs::new(4);
+        let n = t.recv_batch(&mut rx, 4).unwrap();
+        let mut tsc = move || 0u64;
+        plane.serve_batch(&rx, n, &mut tx, &mut tsc);
+        let p = NtpPacket::decode(tx.slot(0)).unwrap();
+        assert!(matches!(
+            p.validate_response(&req),
+            Err(tsc_ntp::packet::PacketError::KissOfDeath(code)) if code == REFUSE_INIT
+        ));
+    }
+
+    #[test]
+    fn udp_daemon_end_to_end() {
+        let cell = Arc::new(SnapshotCell::new());
+        let daemon = spawn_udp(
+            "127.0.0.1:0",
+            Arc::clone(&cell),
+            ServeConfig::default(),
+            instant_counter(),
+        )
+        .unwrap();
+        // Publish a synced snapshot pinned to "counter 0 = base time"; the
+        // daemon's instant_counter starts near 0 so staleness stays tiny.
+        cell.publish(&ClockSnapshot {
+            era: 1,
+            tsc0: 0,
+            base: 1.7e9,
+            rate: 1e-9,
+            bound: 30e-6,
+            widen_rate: 1e-7,
+            synced: true,
+            reference_id: *b"TSC\0",
+        });
+        let mut client = tsc_ntp::client::SntpClient::connect(daemon.addr()).unwrap();
+        client
+            .set_timeout(std::time::Duration::from_secs(2))
+            .unwrap();
+        let mut t = 0.0;
+        let ft = client
+            .query(|| {
+                t += 0.001;
+                t
+            })
+            .expect("daemon answers");
+        assert!(ft.tb > 1.7e9 - 1.0 && ft.tb < 1.7e9 + 60.0);
+        assert!(ft.te >= ft.tb);
+        // The reply can arrive before the daemon mirrors its counters.
+        let t0 = std::time::Instant::now();
+        while daemon.stats().responses < 1 && t0.elapsed() < std::time::Duration::from_secs(2) {
+            std::thread::yield_now();
+        }
+        let stats = daemon.stats();
+        assert_eq!(stats.responses, 1);
+        assert_eq!(stats.refusals, 0);
+        daemon.shutdown();
+    }
+}

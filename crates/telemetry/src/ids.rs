@@ -70,10 +70,27 @@ pub enum Ctr {
     /// Flight-recorder events overwritten before they could be dumped
     /// (ring wrapped). Always exposed — truncation is never silent.
     RecorderDropped,
+    /// Client datagrams received by a serving plane (batch-granular).
+    ServeRequests,
+    /// Responses stamped and sent by a serving plane.
+    ServeResponses,
+    /// Datagrams dropped as malformed (short, bad version, non-client
+    /// mode). Always exposed — drops are never silent.
+    ServeMalformed,
+    /// Requests answered with a stratum-0 refusal (snapshot never
+    /// published, marked unsynchronized, or past the staleness horizon).
+    ServeRefusals,
+    /// Datagram batches processed by a serving plane.
+    ServeBatches,
+    /// Non-transient receive errors the serve loop survived (the loop
+    /// counts and continues instead of dying silently).
+    ServeRecvErrors,
+    /// Clock snapshots sealed into a published cell.
+    SnapshotsPublished,
 }
 
 /// Number of counter slots.
-pub const CTR_COUNT: usize = Ctr::RecorderDropped as usize + 1;
+pub const CTR_COUNT: usize = Ctr::SnapshotsPublished as usize + 1;
 
 impl Ctr {
     /// All counters, in slot order.
@@ -105,6 +122,13 @@ impl Ctr {
         Ctr::ColdRestarts,
         Ctr::ReplayedPackets,
         Ctr::RecorderDropped,
+        Ctr::ServeRequests,
+        Ctr::ServeResponses,
+        Ctr::ServeMalformed,
+        Ctr::ServeRefusals,
+        Ctr::ServeBatches,
+        Ctr::ServeRecvErrors,
+        Ctr::SnapshotsPublished,
     ];
 
     /// Snake-case metric name (without the `tsc_`/`_total` decoration).
@@ -137,6 +161,13 @@ impl Ctr {
             Ctr::ColdRestarts => "cold_restarts",
             Ctr::ReplayedPackets => "replayed_packets",
             Ctr::RecorderDropped => "flight_recorder_dropped",
+            Ctr::ServeRequests => "serve_requests",
+            Ctr::ServeResponses => "serve_responses",
+            Ctr::ServeMalformed => "serve_malformed_drops",
+            Ctr::ServeRefusals => "serve_refusals",
+            Ctr::ServeBatches => "serve_batches",
+            Ctr::ServeRecvErrors => "serve_recv_errors",
+            Ctr::SnapshotsPublished => "snapshots_published",
         }
     }
 }
@@ -172,7 +203,8 @@ impl Gauge {
     }
 }
 
-/// Log2-bucketed histograms. All record nanoseconds.
+/// Log2-bucketed histograms. All record nanoseconds unless a variant
+/// documents another unit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(usize)]
 pub enum Hist {
@@ -190,10 +222,16 @@ pub enum Hist {
     StageCommitNs,
     /// Whole-ingest-batch latency (per `ingest_batch` packets per clock).
     IngestBatchNs,
+    /// Age of the published snapshot at serve time (nanoseconds of
+    /// staleness, worst slot per batch).
+    ServeSnapshotAgeNs,
+    /// Datagrams per received batch (**unit: datagrams**, not ns) — how
+    /// well the batched front-end amortizes its syscalls.
+    ServeBatchFill,
 }
 
 /// Number of histogram slots.
-pub const HIST_COUNT: usize = Hist::IngestBatchNs as usize + 1;
+pub const HIST_COUNT: usize = Hist::ServeBatchFill as usize + 1;
 
 impl Hist {
     /// All histograms, in slot order.
@@ -204,6 +242,8 @@ impl Hist {
         Hist::StageKernelNs,
         Hist::StageCommitNs,
         Hist::IngestBatchNs,
+        Hist::ServeSnapshotAgeNs,
+        Hist::ServeBatchFill,
     ];
 
     /// Snake-case metric name.
@@ -215,6 +255,8 @@ impl Hist {
             Hist::StageKernelNs => "stage_kernel_ns",
             Hist::StageCommitNs => "stage_commit_ns",
             Hist::IngestBatchNs => "ingest_batch_ns",
+            Hist::ServeSnapshotAgeNs => "serve_snapshot_age_ns",
+            Hist::ServeBatchFill => "serve_batch_fill",
         }
     }
 }

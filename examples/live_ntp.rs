@@ -1,10 +1,16 @@
 //! Live NTP over real UDP sockets: a simulated stratum-1 server on
 //! localhost, the blocking SNTP client, and the TSC-NTP clock fed from real
-//! exchanges.
+//! exchanges — then **daemon mode**: the acquired clock is published into a
+//! lock-free snapshot cell and served back out over the batched `tsc-serve`
+//! UDP front-end.
 //!
 //! ```sh
-//! cargo run --release --example live_ntp
+//! cargo run --release --example live_ntp                  # demo, exits
+//! cargo run --release --example live_ntp -- 127.0.0.1:8123  # keep serving
 //! ```
+//!
+//! With an address argument the daemon keeps answering on that socket
+//! (Ctrl-C to stop) while the discipline loop republishes every 200 ms.
 //!
 //! The host's "TSC" is a nanosecond counter derived from `Instant` (the
 //! paper's driver-level counter read, minus the kernel); the server answers
@@ -13,9 +19,11 @@
 //! the demo finishes in seconds — the algorithms only see timestamps, not
 //! wall-clock patience.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tscclock_repro::clock::{ClockConfig, RawExchange, TscNtpClock};
 use tscclock_repro::ntp::{self, ServerClock, SntpClient};
+use tscclock_repro::serve::{PublishPolicy, Publisher, ServeConfig, SnapshotCell};
 
 /// A server whose clock is the system clock shifted by a fixed offset —
 /// stand-in for a remote stratum-1 whose absolute time we must acquire.
@@ -107,6 +115,52 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             (ca - server_now) * 1e6
         );
     }
+
+    // 5. Daemon mode: publish the disciplined clock into a lock-free
+    //    snapshot cell and serve it over the batched UDP front-end.
+    let listen = std::env::args().nth(1);
+    let forever = listen.is_some();
+    let listen = listen.unwrap_or_else(|| "127.0.0.1:0".into());
+
+    let cell = Arc::new(SnapshotCell::new());
+    let mut publisher = Publisher::new(Arc::clone(&cell), PublishPolicy::default());
+    publisher.publish_clock(&clock, read_tsc());
+    let daemon = tscclock_repro::serve::spawn_udp(
+        listen.as_str(),
+        Arc::clone(&cell),
+        ServeConfig::default(),
+        read_tsc,
+    )?;
+    println!("\nserve daemon listening on {} (lock-free snapshot, batched UDP)", daemon.addr());
+
+    if forever {
+        println!("republishing every 200 ms; Ctrl-C to stop");
+        loop {
+            std::thread::sleep(Duration::from_millis(200));
+            publisher.publish_clock(&clock, read_tsc());
+        }
+    }
+
+    // Demo: query our own daemon a few times while republishing between
+    // queries, like the discipline loop would.
+    let mut probe = SntpClient::connect(daemon.addr())?;
+    probe.set_timeout(Duration::from_secs(1))?;
+    for _ in 0..3 {
+        publisher.publish_clock(&clock, read_tsc());
+        let ft = probe.query(|| read_tsc() as f64 * 1e-9)?;
+        println!(
+            "daemon served tb = {:.6} (Unix s), residence te−tb = {:.1} µs",
+            ft.tb,
+            (ft.te - ft.tb) * 1e6
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let stats = daemon.stats();
+    println!(
+        "daemon stats: {} responses, {} refusals, {} batches",
+        stats.responses, stats.refusals, stats.batches
+    );
+    daemon.shutdown();
     server.shutdown();
     Ok(())
 }
